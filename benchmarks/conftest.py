@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper figure at a down-scaled but
+shape-preserving configuration, via ``benchmark.pedantic(rounds=1)`` —
+these are experiment harnesses, not microbenchmarks, so a single round
+is the measurement.  Each bench also prints the experiment's report and
+attaches its headline numbers to ``benchmark.extra_info`` so that
+``pytest benchmarks/ --benchmark-only`` doubles as the paper-regeneration
+run (see EXPERIMENTS.md).
+"""
+
+import pathlib
+
+import pytest
+
+#: Directory where each bench drops its figure report (survives pytest's
+#: stdout capture, so plain ``pytest benchmarks/ --benchmark-only`` still
+#: leaves the regenerated figures on disk).
+REPORT_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_reports"
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist a figure report under bench_reports/<name>.txt and print it."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

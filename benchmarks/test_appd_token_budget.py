@@ -1,0 +1,21 @@
+"""Bench: regenerate Appendix D (token budget T/T_F vs propagation delay)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import appd_token_budget
+
+
+def test_appd_token_budget_sweep(benchmark):
+    result = run_once(
+        benchmark, appd_token_budget.run,
+        n=16, h=2, propagation_delays=(0, 60, 240),
+        first_hop_budgets=(1, 4, 16), duration=10_000, flow_cells=10_000,
+    )
+    save_report('appd', appd_token_budget.report(result))
+    by_key = {(p, tf): t for p, tf, _tt, t, _g, _a in result.rows}
+    benchmark.extra_info["tput_p240_tf1"] = round(by_key[(240, 1)], 3)
+    benchmark.extra_info["tput_p240_tf16"] = round(by_key[(240, 16)], 3)
+    # Appendix D shape: small budgets crater under large delay; larger
+    # first-hop budgets restore sending rate.
+    assert by_key[(240, 16)] > by_key[(240, 1)]
+    assert by_key[(0, 1)] > 0.2  # near the 0.25 guarantee with no delay

@@ -1,0 +1,30 @@
+"""Microbenchmarks of the simulator hot path itself.
+
+Not a paper figure: these track the cost of a simulated timeslot so that
+regressions in the Python hot path (Node.transmit / Node.receive) are
+caught.  Unlike the figure benches these use multiple rounds.
+"""
+
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine
+from repro.workloads.generators import permutation_workload
+
+
+def _build(cc):
+    cfg = SimConfig(
+        n=64, h=2, duration=10**9, propagation_delay=4,
+        congestion_control=cc, seed=1,
+    )
+    engine = Engine(cfg, workload=permutation_workload(cfg, 10**6))
+    engine.run(duration=200)  # warm the queues
+    return engine
+
+
+def test_engine_slot_throughput_none(benchmark):
+    engine = _build("none")
+    benchmark(engine.run, 500)
+
+
+def test_engine_slot_throughput_hbh_spray(benchmark):
+    engine = _build("hbh+spray")
+    benchmark(engine.run, 500)

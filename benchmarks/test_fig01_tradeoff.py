@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 1 (throughput vs intrinsic latency, analytic)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import fig01_tradeoff
+
+
+def test_fig01_tradeoff(benchmark):
+    result = run_once(benchmark, fig01_tradeoff.run, n=100_000)
+    save_report('fig01', fig01_tradeoff.report(result))
+    by_h = {p.h: p for p in result.points}
+    benchmark.extra_info["srrd_latency_slots"] = by_h[1].latency_slots
+    benchmark.extra_info["h4_latency_slots"] = by_h[4].latency_slots
+    # the paper's headline: multiple orders of magnitude between h=1 and h>=4
+    assert by_h[1].latency_slots > 1000 * by_h[4].latency_slots

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 4 (Opera vs Shale h=1, heavy-tailed workload)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import fig04_opera
+
+
+def test_fig04_opera_vs_shale(benchmark):
+    result = run_once(
+        benchmark, fig04_opera.run,
+        n=64, duration=30_000, load=0.35, propagation_delay=10,
+        opera_period_cells=500, seed=2,
+    )
+    save_report('fig04', fig04_opera.report(result))
+    bulk = [b for b in result.opera_tails if b >= 4]
+    benchmark.extra_info["opera_buckets"] = len(result.opera_tails)
+    benchmark.extra_info["shale_buckets"] = len(result.shale_tails)
+    assert result.shale_tails and result.opera_tails
+    if bulk:
+        worst_opera = max(result.opera_tails[b] for b in bulk)
+        benchmark.extra_info["opera_worst_bulk_tail"] = worst_opera
+        # Fig. 4 shape: Opera's bulk flows are penalised by RotorLB
+        shale_worst = max(result.shale_tails.values())
+        assert worst_opera > shale_worst

@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 7 (on-chip memory scaling, Shoal vs Shale)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import fig07_memory
+
+
+def test_fig07_memory_scaling(benchmark):
+    result = run_once(benchmark, fig07_memory.run)
+    save_report('fig07', fig07_memory.report(result))
+    gap = result.shoal[-1] / min(s[-1] for s in result.shale.values())
+    benchmark.extra_info["shoal_bytes_at_25k"] = result.shoal[-1]
+    benchmark.extra_info["gap_vs_leanest_shale"] = gap
+    # Fig. 7 shape: Shoal in the GBs, Shale h=2 ~MB, h=4 below that;
+    # orders of magnitude apart at datacenter scale.
+    assert result.shoal[-1] > 1 << 30
+    assert gap > 1000
+    assert max(result.shale[2]) < 8 << 20

@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 8 (hardware prototype vs packet simulator)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import fig08_validation
+
+
+def test_fig08_cross_validation(benchmark):
+    result = run_once(benchmark, fig08_validation.run, n=16, duration=10_000)
+    save_report('fig08', fig08_validation.report(result))
+    for h, hw, sim, hw_q, sim_q, guarantee in result.rows:
+        benchmark.extra_info[f"h{h}_hw_gbps"] = round(hw, 3)
+        benchmark.extra_info[f"h{h}_sim_gbps"] = round(sim, 3)
+        # Fig. 8 takeaways: both above the theoretical guarantee, and the
+        # two independently structured implementations agree.
+        assert hw >= 0.95 * guarantee
+        assert sim >= 0.95 * guarantee
+        assert abs(hw - sim) <= 0.25 * max(hw, sim)

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 9 (interleaved schedules, heavy-tailed load)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import fig09_interleaving
+
+
+def test_fig09_interleaving(benchmark):
+    result = run_once(
+        benchmark, fig09_interleaving.run,
+        n=16, shares=(0.0, 0.5, 1.0), duration=15_000,
+        cutoff_cells=40, propagation_delay=2,
+    )
+    save_report('fig09', fig09_interleaving.report(result))
+    benchmark.extra_info["loads"] = {
+        f"s={s}": round(l, 3) for s, l in result.loads.items()
+    }
+    # Fig. 9 shape: interleaving sustains a higher combined load than the
+    # pure low-latency schedule...
+    assert result.loads[0.5] > result.loads[1.0]
+    # ...while short flows still complete on every configuration.
+    for s, tails in result.tails.items():
+        assert tails, f"no completed flows for s={s}"

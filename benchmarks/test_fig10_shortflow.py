@@ -1,0 +1,33 @@
+"""Bench: regenerate Figure 10 (CC comparison, short flow workload)."""
+
+from conftest import run_once, save_report
+
+from repro.congestion.mechanisms import EVALUATION_ORDER
+from repro.experiments import fig10_shortflow
+
+
+def test_fig10_shortflow_cc_grid(benchmark):
+    result = run_once(
+        benchmark, fig10_shortflow.run,
+        n=16, h_values=(2, 4), mechanisms=EVALUATION_ORDER,
+        duration=12_000, propagation_delay=2, load=0.18,
+    )
+    save_report('fig10', fig10_shortflow.report(result))
+    for h in (2, 4):
+        none_cell = result.cell("none", h)
+        combo = result.cell("hbh+spray", h)
+        benchmark.extra_info[f"h{h}_none_buf"] = round(none_cell.buffer_p9999, 1)
+        benchmark.extra_info[f"h{h}_hbhspray_buf"] = round(combo.buffer_p9999, 1)
+        # Fig. 10 shape: the combined mechanism beats no-CC on tail buffers.
+        assert combo.buffer_p9999 <= none_cell.buffer_p9999
+    # spray-short targets path collisions: queues no worse than random
+    # spraying (small tolerance — the absolute max at this scale is set by
+    # a single egress hotspot that spray-short does not target)
+    assert (
+        result.cell("spray-short", 2).max_queue
+        <= result.cell("none", 2).max_queue * 1.1 + 5
+    )
+    assert (
+        result.cell("spray-short", 2).queue_p99
+        <= result.cell("none", 2).queue_p99 * 1.1 + 5
+    )

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 12 (throughput under node failures)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import fig12_failures
+
+
+def test_fig12_failures(benchmark):
+    result = run_once(
+        benchmark, fig12_failures.run,
+        n=81, h_values=(2, 4), failed_fractions=(0.0, 0.04, 0.08),
+        duration=10_000, flow_cells=10_000, permutations=10,
+    )
+    save_report('fig12', fig12_failures.report(result))
+    for h in (2, 4):
+        tputs = {
+            frac: tput for hh, frac, _c, tput, _b in result.rows if hh == h
+        }
+        benchmark.extra_info[f"h{h}_tput_0pct"] = round(tputs[0.0], 3)
+        benchmark.extra_info[f"h{h}_tput_8pct"] = round(tputs[0.08], 3)
+        # Fig. 12 shape: graceful, roughly proportional degradation.
+        assert tputs[0.08] > 0.6 * tputs[0.0]
+        assert tputs[0.0] >= tputs[0.08] * 0.95

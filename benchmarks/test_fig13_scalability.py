@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 13 (resource & latency scalability with N)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import fig13_scalability
+
+
+def test_fig13_scalability(benchmark):
+    result = run_once(
+        benchmark, fig13_scalability.run,
+        sizes={2: (16, 64, 256), 4: (16, 81, 256)},
+        duration=10_000, propagation_delay=2,
+    )
+    save_report('fig13', fig13_scalability.report(result))
+    for h in (2, 4):
+        rows = [(n, a, p) for hh, n, a, p, _t in result.rows if hh == h]
+        rows.sort()
+        smallest, largest = rows[0], rows[-1]
+        scale_factor = largest[0] / smallest[0]
+        bucket_growth = largest[1] / max(1, smallest[1])
+        benchmark.extra_info[f"h{h}_bucket_growth"] = round(bucket_growth, 2)
+        # Fig. 13 shape: resources grow far slower than system size.
+        assert bucket_growth < scale_factor, (
+            f"h={h}: active buckets grew {bucket_growth:.1f}x over a "
+            f"{scale_factor:.0f}x size scale-up"
+        )

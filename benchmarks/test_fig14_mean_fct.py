@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 14 / Appendix B.1 (mean size-normalised FCTs)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import fig14_mean_fct
+
+
+def test_fig14_mean_fct(benchmark):
+    result = run_once(
+        benchmark, fig14_mean_fct.run,
+        workload_name="short-flow", n=16, h_values=(2,),
+        mechanisms=("none", "priority", "hbh+spray"),
+        duration=12_000, propagation_delay=2, load=0.18,
+    )
+    save_report('fig14', fig14_mean_fct.report(result))
+
+    def overall_mean(cell):
+        values = [v for v in cell.fct_mean.values()]
+        return sum(values) / len(values)
+
+    none_mean = overall_mean(result.cell("none", 2))
+    prio_mean = overall_mean(result.cell("priority", 2))
+    combo_mean = overall_mean(result.cell("hbh+spray", 2))
+    benchmark.extra_info["none_mean"] = round(none_mean, 2)
+    benchmark.extra_info["priority_mean"] = round(prio_mean, 2)
+    benchmark.extra_info["hbh_spray_mean"] = round(combo_mean, 2)
+    # Fig. 14 shape: priority improves the mean over none, and HBH+spray —
+    # which actually reduces queues — does at least as well as none too.
+    assert prio_mean <= none_mean * 1.05
+    assert combo_mean <= none_mean * 1.05

@@ -1,0 +1,25 @@
+"""Bench: regenerate Figures 15/16 / Appendix B.2 (queue lengths)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import fig15_queues
+
+
+def test_fig15_16_queue_lengths(benchmark):
+    result = run_once(
+        benchmark, fig15_queues.run,
+        workload_name="heavy-tailed", n=16, h_values=(2,),
+        mechanisms=("none", "ndp", "hbh+spray"),
+        duration=20_000, propagation_delay=2, load=0.15,
+    )
+    save_report('fig15_16', fig15_queues.report(result))
+    none_cell = result.cell("none", 2)
+    ndp_cell = result.cell("ndp", 2)
+    combo = result.cell("hbh+spray", 2)
+    benchmark.extra_info["none_maxq"] = none_cell.max_queue
+    benchmark.extra_info["ndp_maxq"] = ndp_cell.max_queue
+    benchmark.extra_info["hbh_spray_maxq"] = combo.max_queue
+    # Figs. 15/16 shape: no-CC queues dwarf everything; NDP's cap binds its
+    # max queue near the trimming threshold; HBH+spray stays low.
+    assert combo.max_queue < none_cell.max_queue
+    assert ndp_cell.max_queue <= 100 + 1  # the configured trim threshold

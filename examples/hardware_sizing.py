@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Sizing the FPGA end host from simulation (paper Sections 4.2-4.3).
+
+The hardware prototype only allocates storage for ``A`` active buckets and
+bounded PIEO queues; the paper dimensions those from simulation maxima
+(doubled for headroom).  This example runs the short-flow workload, observes
+the peaks, provisions the memory model, and prints the resulting on-chip /
+DRAM budget next to what a Shoal-style (SRRD) end host would need at the
+same scale.
+
+Run:
+    python examples/hardware_sizing.py
+"""
+
+from repro import Engine, SimConfig
+from repro.hardware import (
+    observe_resources,
+    provision_memory,
+    shoal_on_chip_bytes,
+)
+from repro.workloads import ShortFlowDistribution, poisson_workload
+
+
+def human(num_bytes: float) -> str:
+    for unit in ("B", "kB", "MB", "GB"):
+        if num_bytes < 1024:
+            return f"{num_bytes:.3g} {unit}"
+        num_bytes /= 1024
+    return f"{num_bytes:.3g} TB"
+
+
+def main() -> None:
+    config = SimConfig(
+        n=256, h=2, duration=15_000, propagation_delay=8,
+        congestion_control="hbh+spray", seed=17,
+    )
+    workload = poisson_workload(config, ShortFlowDistribution(), load=0.2)
+    print(f"Simulating N={config.n}, h={config.h} under the short-flow "
+          f"workload ({len(workload)} flows)...")
+    engine = Engine(config, workload=workload)
+    engine.run()
+
+    observation = observe_resources(engine)
+    print("\nObserved peaks:")
+    print(f"  active buckets   : {observation.max_active_buckets}")
+    print(f"  PIEO queue depth : {observation.max_pieo_length}")
+    print(f"  buffered cells   : {observation.max_buffer_occupancy}")
+
+    model = provision_memory(observation, headroom=2.0)
+    print("\nProvisioned end-host memory (2x headroom, Section 4.3):")
+    print(f"  PIEO queues      : {human(model.pieo_bytes())}")
+    print(f"  token queues     : {human(model.token_queue_bytes())}")
+    print(f"  token counts     : {human(model.token_count_bytes())}")
+    print(f"  bucket maps      : {human(model.bucket_map_bytes())}")
+    print(f"  total on-chip    : {human(model.on_chip_bytes())}")
+    print(f"  DRAM cell buffer : {human(model.dram_bytes())} "
+          f"({model.dram_cells()} cells)")
+
+    shoal = shoal_on_chip_bytes(config.n)
+    ratio = shoal / model.on_chip_bytes()
+    print(f"\nShoal-style SRRD end host at N={config.n}: {human(shoal)} "
+          f"on-chip ({ratio:,.0f}x Shale h=2)")
+    print("The gap widens with N — see the Fig. 7 bench "
+          "(benchmarks/test_fig07_memory.py).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Congestion control under incast (paper Section 3.3).
+
+Incast — many senders converging on one receiver — is the canonical egress
+congestion scenario.  This example slams a single destination with twelve
+simultaneous senders and compares three strategies:
+
+* ``none``        — no congestion control: queues balloon;
+* ``ndp``         — receiver-driven pulls with trimming: bounded queues but
+                    trims and retransmissions;
+* ``hbh+spray``   — Shale's token-based hop-by-hop plus shortest-queue
+                    spraying: bounded queues with zero loss.
+
+Run:
+    python examples/incast_congestion.py
+"""
+
+from repro import Engine, SimConfig
+from repro.workloads import incast_workload
+
+N = 64
+SENDERS = list(range(1, 13))
+FLOW_CELLS = 500
+DURATION = 20_000
+
+
+def run(mechanism: str):
+    config = SimConfig(
+        n=N, h=2, duration=DURATION, propagation_delay=4,
+        congestion_control=mechanism, seed=11,
+    )
+    workload = incast_workload(
+        config, target=0, senders=SENDERS, size_cells=FLOW_CELLS
+    )
+    engine = Engine(config, workload=workload)
+    engine.run()
+    engine.run_until_quiescent(max_extra=400_000)
+    return engine
+
+
+def main() -> None:
+    print(f"Incast: {len(SENDERS)} senders x {FLOW_CELLS} cells -> node 0\n")
+    header = (
+        f"{'mechanism':>10} {'done':>5} {'max queue':>10} "
+        f"{'p99.99 buffer':>14} {'trims':>6} {'rtx':>5} {'p99.9 FCT':>10}"
+    )
+    print(header)
+    for mechanism in ("none", "ndp", "hbh+spray"):
+        engine = run(mechanism)
+        metrics = engine.metrics
+        completed = engine.flows.completed
+        fcts = sorted(
+            r.normalized_fct(engine.config.propagation_delay)
+            for r in completed
+        )
+        tail = fcts[int(len(fcts) * 0.999)] if fcts else float("nan")
+        print(
+            f"{mechanism:>10} {len(completed):>5} "
+            f"{metrics.max_queue_length:>10} "
+            f"{metrics.buffer_occupancy_percentile(99.99):>14.0f} "
+            f"{metrics.cells_trimmed:>6} {metrics.retransmissions:>5} "
+            f"{tail:>10.1f}"
+        )
+    print(
+        "\nhop-by-hop's invariant — at most one enqueued cell per"
+        "\n(upstream neighbour, bucket) — keeps incast queues bounded"
+        "\nwithout dropping a single cell (Section 3.3.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

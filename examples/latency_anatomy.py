@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Where does a cell's latency go? (paper Sections 3.1, 3.3)
+
+Shale's intrinsic latency — 2h(r-1) timeslots of schedule waiting plus
+propagation — is the floor; everything above it is queueing, which is what
+congestion control exists to remove.  This example traces every cell of a
+loaded run, decomposes each delivered cell's latency exactly into
+propagation + schedule + queueing, and shows how the decomposition shifts
+between tunings and congestion-control mechanisms.
+
+Run:
+    python examples/latency_anatomy.py
+"""
+
+from repro import Engine, SimConfig
+from repro.analysis import decompose_run, intrinsic_latency_slots
+from repro.sim import CellTracer
+from repro.workloads import ShortFlowDistribution, poisson_workload
+
+N = 81
+DELAY = 8
+DURATION = 8_000
+
+
+def run_traced(h: int, mechanism: str):
+    config = SimConfig(
+        n=N, h=h, duration=DURATION, propagation_delay=DELAY,
+        congestion_control=mechanism, seed=13,
+    )
+    engine = Engine(config)
+    tracer = CellTracer.attach(engine)
+    engine.schedule_flows(
+        poisson_workload(config, ShortFlowDistribution(scale=0.1),
+                         load=0.8 / (2 * h))
+    )
+    engine.run_until_quiescent(max_extra=300_000)
+    stats = decompose_run(tracer.completed(), engine.schedule, DELAY)
+    hist = tracer.hop_count_histogram()
+    return stats, hist
+
+
+def main() -> None:
+    print(f"Network: N={N}, propagation delay {DELAY} slots\n")
+    header = (
+        f"{'config':>18} {'cells':>7} {'mean total':>11} {'prop':>6} "
+        f"{'schedule':>9} {'queueing':>9} {'queue %':>8} {'p99.9 queue':>12}"
+    )
+    print(header)
+    for h in (2, 4):
+        for mechanism in ("none", "hbh+spray"):
+            stats, hist = run_traced(h, mechanism)
+            label = f"h={h} {mechanism}"
+            print(
+                f"{label:>18} {stats.cells:>7} {stats.mean_total:>11.1f} "
+                f"{stats.mean_propagation:>6.1f} "
+                f"{stats.mean_intrinsic:>9.1f} {stats.mean_queueing:>9.1f} "
+                f"{stats.queueing_fraction():>7.0%} "
+                f"{stats.p999_queueing:>12.1f}"
+            )
+    print(
+        f"\nIntrinsic latency bounds (2h(r-1), no propagation): "
+        f"h=2 -> {intrinsic_latency_slots(N, 2)} slots, "
+        f"h=4 -> {intrinsic_latency_slots(N, 4)} slots."
+    )
+    print(
+        "Propagation and schedule components are identical across\n"
+        "mechanisms; HBH+spray's whole effect is in the queueing column —\n"
+        "realised latency approaches the intrinsic floor (Section 5.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Riding through node failures (paper Section 3.4, Appendix A).
+
+Every Shale path crosses many intermediate nodes, so a single failure
+touches all flows.  Shale detects failures from missing cells (every node
+hears from every neighbour once per epoch), spreads the news with
+invalidation tokens riding the hop-by-hop token channel, and re-sprays
+affected cells around the hole.
+
+This example fails two nodes *mid-run* while a permutation workload is in
+flight, and shows that (a) every flow between live nodes still completes,
+and (b) throughput degrades roughly in proportion to the failed capacity.
+
+Run:
+    python examples/surviving_failures.py
+"""
+
+from repro import Engine, SimConfig
+from repro.failures import FailureEvent, FailureManager
+from repro.workloads import permutation_workload
+
+N = 81
+H = 2
+DURATION = 30_000
+FAIL_AT = 5_000
+FAILED_NODES = (7, 40)
+
+
+def main() -> None:
+    config = SimConfig(
+        n=N, h=H, duration=DURATION, propagation_delay=4,
+        congestion_control="hbh+spray", seed=23,
+    )
+    alive = [i for i in range(N) if i not in FAILED_NODES]
+    workload = permutation_workload(config, size_cells=20_000, nodes=alive)
+
+    # --- baseline: no failures -------------------------------------------
+    baseline = Engine(config, workload=list(workload))
+    baseline.run()
+    base_tput = baseline.throughput()
+
+    # --- same run, but two nodes die at t=5000 ---------------------------
+    manager = FailureManager(
+        events=[FailureEvent(FAIL_AT, node) for node in FAILED_NODES]
+    )
+    engine = Engine(config, workload=list(workload), failure_manager=manager)
+    engine.run()
+    failed_tput = engine.throughput()
+
+    # --- let residual traffic drain ---------------------------------------
+    engine.run_until_quiescent(max_extra=200_000)
+    lossy_flows = engine.flows.active_count
+
+    print(f"Network: N={N}, h={H}; failing nodes {FAILED_NODES} "
+          f"at t={FAIL_AT}")
+    print(f"  baseline throughput        : {base_tput:.3f} of line rate")
+    print(f"  throughput with failures   : {failed_tput:.3f}")
+    print(f"  capacity lost              : "
+          f"{len(FAILED_NODES) / N:.1%} of nodes")
+    print(f"  flows fully delivered      : "
+          f"{len(engine.flows.completed)}/{len(workload)}")
+    print(f"  flows that lost cells      : {lossy_flows} "
+          f"(cells caught at the failed nodes at t={FAIL_AT})")
+    learned = sum(
+        1 for node in engine.nodes
+        if not node.failed and set(FAILED_NODES) & (
+            node.known_failed | node.failed_neighbors
+        )
+    )
+    print(f"  nodes aware of the failure : {learned}/{N - len(FAILED_NODES)}"
+          f"  (via detection + invalidation tokens)")
+    print(
+        "\nThroughput declines roughly in proportion to failed capacity"
+        "\n(the Fig. 12 behaviour).  Cells resident at a node when it dies"
+        "\nare lost — as in the paper, recovering them is the job of an"
+        "\nend-to-end transport above Shale, not of the failure protocol."
+    )
+
+
+if __name__ == "__main__":
+    main()

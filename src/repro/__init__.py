@@ -1,0 +1,73 @@
+"""repro — a from-scratch Python reproduction of Shale (SIGCOMM 2024).
+
+Shale is an Oblivious Reconfigurable Network (ORN): circuit switches follow a
+fixed, traffic-oblivious schedule while Valiant load balancing routes cells
+indirectly to their destinations.  This package provides:
+
+* :mod:`repro.core` — schedules, coordinates, routing, cells, buckets/tokens;
+* :mod:`repro.sim` — a packet-level simulator with every congestion-control
+  mechanism the paper evaluates;
+* :mod:`repro.congestion` — the congestion-control mechanism registry;
+* :mod:`repro.workloads` — the paper's synthetic workloads;
+* :mod:`repro.failures` — failure detection and invalidation tokens;
+* :mod:`repro.baselines` — the Opera comparison system;
+* :mod:`repro.hardware` — FPGA end-host and memory-scaling models;
+* :mod:`repro.analysis` — FCT normalisation and theory formulas;
+* :mod:`repro.experiments` — regenerators for every paper figure.
+
+Quickstart::
+
+    from repro import SimConfig, Engine
+    from repro.workloads import poisson_workload, ShortFlowDistribution
+
+    cfg = SimConfig(n=64, h=2, duration=20_000, congestion_control="hbh+spray")
+    wl = poisson_workload(cfg, ShortFlowDistribution(), load=0.2)
+    engine = Engine(cfg, workload=wl)
+    engine.run()
+    print(engine.throughput())
+"""
+
+from .core import (
+    Cell,
+    CoordinateSystem,
+    HeaderCodec,
+    InterleavedSchedule,
+    Router,
+    Schedule,
+    Token,
+    TokenLedger,
+    srrd_schedule,
+    two_class_interleave,
+)
+from .sim import (
+    Engine,
+    FlowRecord,
+    MetricsCollector,
+    MultiClassSimulation,
+    PieoQueue,
+    SimConfig,
+    TimingModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cell",
+    "CoordinateSystem",
+    "Engine",
+    "FlowRecord",
+    "HeaderCodec",
+    "InterleavedSchedule",
+    "MetricsCollector",
+    "MultiClassSimulation",
+    "PieoQueue",
+    "Router",
+    "Schedule",
+    "SimConfig",
+    "TimingModel",
+    "Token",
+    "TokenLedger",
+    "srrd_schedule",
+    "two_class_interleave",
+    "__version__",
+]

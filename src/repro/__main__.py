@@ -1,0 +1,6 @@
+"""``python -m repro`` — dispatch to the experiment runner."""
+
+from .experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

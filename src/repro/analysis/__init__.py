@@ -1,0 +1,36 @@
+"""Analysis utilities: FCT normalisation, percentiles, theory formulas."""
+
+from .fct import FctTable, bucketed_fcts, fct_table, normalized_fcts
+from .latency import (
+    LatencyBreakdown,
+    RunLatencyStats,
+    decompose_run,
+    decompose_trace,
+)
+from .theory import (
+    TradeoffPoint,
+    effective_radix,
+    feasible_h_values,
+    intrinsic_latency_slots,
+    srrd_latency_slots,
+    throughput_guarantee,
+    tradeoff_curve,
+)
+
+__all__ = [
+    "FctTable",
+    "LatencyBreakdown",
+    "RunLatencyStats",
+    "decompose_run",
+    "decompose_trace",
+    "TradeoffPoint",
+    "bucketed_fcts",
+    "effective_radix",
+    "fct_table",
+    "feasible_h_values",
+    "intrinsic_latency_slots",
+    "normalized_fcts",
+    "srrd_latency_slots",
+    "throughput_guarantee",
+    "tradeoff_curve",
+]

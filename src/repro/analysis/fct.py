@@ -1,0 +1,100 @@
+"""Flow-completion-time analysis (paper Section 5 methodology).
+
+The paper reports *size-normalised* FCTs: a flow of ``F`` cells with one-way
+propagation delay ``P`` would ideally complete in ``F + P`` timeslots over a
+single line-rate hop, so the normalised FCT is ``measured / (F + P)``.
+Flows are then grouped into size buckets (0-4kB, 4-16kB, ... 64MB+) and the
+statistic of interest (99.9th percentile for tail plots, mean for Appendix
+B.1) is computed per bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..sim.flows import FlowRecord
+from ..sim.metrics import percentile
+from ..workloads.distributions import bucket_label, bucket_of
+
+__all__ = [
+    "normalized_fcts",
+    "bucketed_fcts",
+    "FctTable",
+    "fct_table",
+]
+
+
+def normalized_fcts(
+    records: Iterable[FlowRecord], propagation_delay: int
+) -> List[float]:
+    """Size-normalised FCT of every record."""
+    return [r.normalized_fct(propagation_delay) for r in records]
+
+
+def bucketed_fcts(
+    records: Iterable[FlowRecord], propagation_delay: int
+) -> Dict[int, List[float]]:
+    """Normalised FCTs grouped by flow-size bucket index."""
+    out: Dict[int, List[float]] = {}
+    for record in records:
+        idx = bucket_of(record.size_bytes)
+        out.setdefault(idx, []).append(record.normalized_fct(propagation_delay))
+    return out
+
+
+class FctTable:
+    """Per-size-bucket FCT statistics, in the paper's reporting format."""
+
+    def __init__(self, buckets: Dict[int, List[float]]):
+        self.buckets = buckets
+
+    def tail(self, q: float = 99.9) -> Dict[int, float]:
+        """Tail percentile per bucket (the headline Fig. 10/11 statistic)."""
+        return {i: percentile(v, q) for i, v in sorted(self.buckets.items())}
+
+    def mean(self) -> Dict[int, float]:
+        """Mean per bucket (Appendix B.1)."""
+        return {
+            i: (sum(v) / len(v) if v else 0.0)
+            for i, v in sorted(self.buckets.items())
+        }
+
+    def counts(self) -> Dict[int, int]:
+        """Number of completed flows per bucket."""
+        return {i: len(v) for i, v in sorted(self.buckets.items())}
+
+    def rows(self, q: float = 99.9) -> List[Tuple[str, int, float, float]]:
+        """Report rows: (bucket label, flow count, tail, mean)."""
+        tail = self.tail(q)
+        mean = self.mean()
+        return [
+            (bucket_label(i), len(self.buckets[i]), tail[i], mean[i])
+            for i in sorted(self.buckets)
+        ]
+
+    def overall_tail(self, q: float = 99.9) -> float:
+        """Tail over all flows regardless of bucket."""
+        merged: List[float] = []
+        for values in self.buckets.values():
+            merged.extend(values)
+        return percentile(merged, q)
+
+
+def fct_table(
+    records: Iterable[FlowRecord],
+    propagation_delay: int,
+    exclude_dsts: Optional[Sequence[int]] = None,
+) -> FctTable:
+    """Build an :class:`FctTable` from completed-flow records.
+
+    Args:
+        records: completed flows.
+        propagation_delay: one-way delay in slots (for normalisation).
+        exclude_dsts: optionally drop flows to these destinations — used by
+            the Appendix B.3 analysis, which excludes flows incast with very
+            long (>256 MB) flows.
+    """
+    if exclude_dsts:
+        excluded = set(exclude_dsts)
+        records = [r for r in records if r.dst not in excluded]
+    return FctTable(bucketed_fcts(records, propagation_delay))

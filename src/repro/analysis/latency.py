@@ -1,0 +1,149 @@
+"""Latency decomposition: intrinsic vs queueing vs propagation.
+
+The paper distinguishes *intrinsic latency* — the delay implied by the
+schedule and routing scheme alone — from queueing delay, and argues that
+with effective congestion control, realised latencies approach the intrinsic
+floor (e.g. Section 5.3: h=4 HBH+spray tails "within 3x of the theoretical
+limit without queuing").
+
+Given a traced run (:class:`~repro.sim.trace.CellTracer`), this module
+splits each delivered cell's latency into:
+
+* **propagation** — ``hops x P`` timeslots on the wire;
+* **intrinsic scheduling delay** — the unavoidable wait for each hop's link
+  to come up in the schedule, computed by replaying the cell's path against
+  an empty network;
+* **queueing** — the remainder: time lost waiting behind other cells (or
+  for hop-by-hop tokens).
+
+The decomposition is exact per cell: the three components sum to the
+measured latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.schedule import Schedule
+from ..sim.metrics import percentile
+from ..sim.trace import CellTrace
+
+__all__ = [
+    "LatencyBreakdown",
+    "decompose_trace",
+    "decompose_run",
+    "RunLatencyStats",
+]
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """One cell's latency split into its components (timeslots)."""
+
+    total: int
+    propagation: int
+    intrinsic: int
+    queueing: int
+
+    def __post_init__(self) -> None:
+        if self.total != self.propagation + self.intrinsic + self.queueing:
+            raise ValueError(
+                f"components {self.propagation}+{self.intrinsic}+"
+                f"{self.queueing} do not sum to {self.total}"
+            )
+
+
+def _ideal_slot_walk(
+    schedule: Schedule,
+    trace: CellTrace,
+    propagation_delay: int,
+) -> int:
+    """Timeslot at which the cell would complete in an empty network.
+
+    Replays the recorded hop sequence: from each node, the cell departs at
+    the first schedule slot (>= its ready time) connecting to the recorded
+    next hop, then spends the propagation delay on the wire.
+    """
+    ready = trace.hops[0][0]  # actual admission slot of the first hop
+    for _, sender, receiver, _ in trace.hops:
+        depart = schedule.next_send_slot(sender, receiver, ready)
+        ready = depart + propagation_delay
+    return ready
+
+
+def decompose_trace(
+    trace: CellTrace,
+    schedule: Schedule,
+    propagation_delay: int,
+) -> LatencyBreakdown:
+    """Exact latency decomposition of one delivered cell."""
+    if not trace.complete:
+        raise ValueError(f"{trace!r} was not delivered")
+    start = trace.hops[0][0]
+    total = trace.delivered_at - start
+    propagation = len(trace.hops) * propagation_delay
+    ideal_arrival = _ideal_slot_walk(schedule, trace, propagation_delay)
+    ideal_total = ideal_arrival - start
+    intrinsic = ideal_total - propagation
+    queueing = total - ideal_total
+    return LatencyBreakdown(
+        total=total,
+        propagation=propagation,
+        intrinsic=intrinsic,
+        queueing=queueing,
+    )
+
+
+@dataclass
+class RunLatencyStats:
+    """Aggregate decomposition over all delivered cells of a run."""
+
+    cells: int
+    mean_total: float
+    mean_propagation: float
+    mean_intrinsic: float
+    mean_queueing: float
+    p999_total: float
+    p999_queueing: float
+    intrinsic_bound: int
+
+    def queueing_fraction(self) -> float:
+        """Share of mean latency spent queueing."""
+        if self.mean_total <= 0:
+            return 0.0
+        return self.mean_queueing / self.mean_total
+
+
+def decompose_run(
+    traces: Sequence[CellTrace],
+    schedule: Schedule,
+    propagation_delay: int,
+) -> RunLatencyStats:
+    """Decompose every delivered cell of a run and aggregate."""
+    totals: List[int] = []
+    props: List[int] = []
+    intrinsics: List[int] = []
+    queues: List[int] = []
+    for trace in traces:
+        if not trace.complete or not trace.hops:
+            continue
+        breakdown = decompose_trace(trace, schedule, propagation_delay)
+        totals.append(breakdown.total)
+        props.append(breakdown.propagation)
+        intrinsics.append(breakdown.intrinsic)
+        queues.append(breakdown.queueing)
+    count = len(totals)
+    if count == 0:
+        return RunLatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+                               schedule.max_intrinsic_latency())
+    return RunLatencyStats(
+        cells=count,
+        mean_total=sum(totals) / count,
+        mean_propagation=sum(props) / count,
+        mean_intrinsic=sum(intrinsics) / count,
+        mean_queueing=sum(queues) / count,
+        p999_total=percentile(totals, 99.9),
+        p999_queueing=percentile(queues, 99.9),
+        intrinsic_bound=schedule.max_intrinsic_latency(),
+    )

@@ -1,0 +1,5 @@
+"""Baseline systems the paper compares against."""
+
+from .opera import OperaConfig, OperaSimulator, RotorTopology
+
+__all__ = ["OperaConfig", "OperaSimulator", "RotorTopology"]

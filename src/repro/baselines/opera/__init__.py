@@ -1,0 +1,6 @@
+"""Simplified Opera baseline (Mellette et al., NSDI 2020) for Fig. 4."""
+
+from .sim import OperaConfig, OperaFlowRecord, OperaSimulator
+from .topology import RotorTopology
+
+__all__ = ["OperaConfig", "OperaFlowRecord", "OperaSimulator", "RotorTopology"]

@@ -1,0 +1,122 @@
+"""Opera's rotating expander topology (Mellette et al., NSDI 2020).
+
+Opera equips every node (top-of-rack switch) with ``u`` uplinks, each
+attached to a rotor switch.  Each rotor cycles through ``N - 1`` matchings;
+reconfigurations are staggered so that at any instant ``u - 1`` matchings
+are live and together form an expander graph over the nodes.  Each
+configuration is held for several microseconds — orders of magnitude longer
+than Shale's timeslots — so that short flows can traverse multi-hop paths
+within a single topology.
+
+We realise each rotor's matchings as circulant offsets: rotor ``j`` at
+period ``k`` connects ``x -> (x + offset_j(k)) mod N``.  Offsets are chosen
+with a large co-prime stride so the union of the live matchings is a
+circulant expander, and every ordered pair is directly connected once per
+rotor cycle — the property RotorLB depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["RotorTopology"]
+
+
+class RotorTopology:
+    """The time-varying union of ``u`` rotor matchings over ``n`` nodes."""
+
+    def __init__(self, n: int, uplinks: int, stride: Optional[int] = None):
+        if n < 3:
+            raise ValueError("Opera needs at least 3 nodes")
+        if not 1 <= uplinks < n:
+            raise ValueError(f"uplinks must be in [1, {n}), got {uplinks}")
+        self.n = n
+        self.uplinks = uplinks
+        # A stride co-prime with n - 1 walks all offsets 1..n-1 in a
+        # scrambled order, decorrelating the rotors' matchings.
+        self.stride = stride if stride is not None else self._pick_stride(n - 1)
+        # rotor j starts its offset walk at a distinct point for staggering
+        self._starts = [
+            (j * ((n - 1) // uplinks)) % (n - 1) for j in range(uplinks)
+        ]
+
+    @staticmethod
+    def _pick_stride(m: int) -> int:
+        """A stride co-prime with ``m``, away from 1 for good scrambling."""
+        import math
+
+        candidate = max(2, int(m * 0.618))  # golden-ratio-ish
+        while math.gcd(candidate, m) != 1:
+            candidate += 1
+        return candidate
+
+    def offset(self, rotor: int, period: int) -> int:
+        """Matching offset of ``rotor`` during ``period`` (in ``1 .. n-1``)."""
+        if not 0 <= rotor < self.uplinks:
+            raise ValueError(f"rotor {rotor} out of range")
+        m = self.n - 1
+        return 1 + (self._starts[rotor] + period * self.stride) % m
+
+    def live_offsets(self, period: int) -> List[int]:
+        """Offsets of all live matchings during ``period``."""
+        return [self.offset(j, period) for j in range(self.uplinks)]
+
+    def neighbors(self, node: int, period: int) -> List[int]:
+        """Nodes directly reachable from ``node`` during ``period``."""
+        return [(node + o) % self.n for o in self.live_offsets(period)]
+
+    def connected(self, src: int, dst: int, period: int) -> Optional[int]:
+        """The rotor connecting ``src`` to ``dst`` this period, if any."""
+        want = (dst - src) % self.n
+        for j in range(self.uplinks):
+            if self.offset(j, period) == want:
+                return j
+        return None
+
+    def next_direct_period(self, src: int, dst: int, after: int,
+                           search_limit: Optional[int] = None) -> int:
+        """First period ``>= after`` with a direct ``src -> dst`` matching.
+
+        With ``u`` co-prime-strided rotors each pair is matched once per
+        ``(n - 1) / u`` periods on average; the scan is bounded by ``n``.
+        """
+        limit = search_limit if search_limit is not None else self.n + 1
+        for period in range(after, after + limit):
+            if self.connected(src, dst, period) is not None:
+                return period
+        raise RuntimeError(
+            f"no direct matching {src}->{dst} within {limit} periods; "
+            "stride/uplink configuration does not cover all pairs"
+        )
+
+    def path_length(self, src: int, dst: int, period: int,
+                    max_hops: int = 12) -> Optional[int]:
+        """BFS hop count from ``src`` to ``dst`` in the period's expander.
+
+        Uses the circulant structure: reachability depends only on the
+        difference ``(dst - src) mod n``, so BFS runs over residues.
+        """
+        if src == dst:
+            return 0
+        target = (dst - src) % self.n
+        offsets = self.live_offsets(period)
+        frontier = {0}
+        seen = {0}
+        for hops in range(1, max_hops + 1):
+            nxt = set()
+            for residue in frontier:
+                for o in offsets:
+                    neighbor = (residue + o) % self.n
+                    if neighbor == target:
+                        return hops
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        nxt.add(neighbor)
+            if not nxt:
+                return None
+            frontier = nxt
+        return None
+
+    def mean_direct_interval(self) -> float:
+        """Average periods between direct connections of a given pair."""
+        return (self.n - 1) / self.uplinks

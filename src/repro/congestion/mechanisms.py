@@ -1,0 +1,122 @@
+"""Registry and descriptions of the congestion-control mechanisms.
+
+The mechanisms themselves execute inside :class:`repro.sim.node.Node` (they
+change the TX/RX behaviour of every node, every slot, so they are compiled
+into the node's hot path rather than dispatched through an interface).  This
+module is the front door: mechanism metadata, config factories, and the set
+the paper's evaluation compares (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from ..sim.config import SimConfig
+
+__all__ = [
+    "MechanismInfo",
+    "MECHANISMS",
+    "EVALUATION_ORDER",
+    "config_for",
+    "shale_mechanisms",
+    "baseline_mechanisms",
+]
+
+
+@dataclass(frozen=True)
+class MechanismInfo:
+    """Metadata for one congestion-control mechanism.
+
+    Attributes:
+        name: config string (``SimConfig.congestion_control``).
+        kind: ``"shale"`` for the paper's contributions, ``"baseline"``
+            for comparison mechanisms.
+        in_network: True when the mechanism acts at intermediate hops.
+        targets: which congestion type it primarily addresses.
+        summary: one-line description.
+    """
+
+    name: str
+    kind: str
+    in_network: bool
+    targets: str
+    summary: str
+
+
+MECHANISMS: Dict[str, MechanismInfo] = {
+    info.name: info
+    for info in (
+        MechanismInfo(
+            "none", "baseline", False, "nothing",
+            "No congestion control beyond the implicit forwarded-first "
+            "admission control.",
+        ),
+        MechanismInfo(
+            "priority", "baseline", True, "mean FCT",
+            "In-network shortest-flow-first scheduling: cells ranked by "
+            "arrival time + flow size x epoch length (pFabric-style).",
+        ),
+        MechanismInfo(
+            "isd", "baseline", False, "egress congestion",
+            "Idealized Sender-Driven: clairvoyant fair sharing of each "
+            "receiver's bandwidth budget R among its active flows.",
+        ),
+        MechanismInfo(
+            "rd", "baseline", False, "egress congestion",
+            "Receiver-driven PULL protocol (NDP without trimming): one PULL "
+            "per 20 delivered cells per sender.",
+        ),
+        MechanismInfo(
+            "ndp", "baseline", False, "egress congestion",
+            "Receiver-driven PULLs plus queue caps with packet trimming and "
+            "retransmission (the paper's NDP analog).",
+        ),
+        MechanismInfo(
+            "spray-short", "shale", True, "path-collision congestion",
+            "Spraying hops choose the shortest send queue in the next phase "
+            "(ties broken randomly).",
+        ),
+        MechanismInfo(
+            "hop-by-hop", "shale", True, "egress congestion",
+            "Per-(neighbour, bucket) token credit with PIEO queues; at most "
+            "one outstanding cell per bucket per upstream neighbour.",
+        ),
+        MechanismInfo(
+            "hbh+spray", "shale", True, "both",
+            "hop-by-hop combined with spray-short: Shale's complete "
+            "congestion-control solution.",
+        ),
+    )
+}
+
+#: The order mechanisms appear along the x-axis of Figs. 10/11/15/16.
+EVALUATION_ORDER: Tuple[str, ...] = (
+    "none",
+    "priority",
+    "isd",
+    "rd",
+    "ndp",
+    "spray-short",
+    "hop-by-hop",
+    "hbh+spray",
+)
+
+
+def config_for(mechanism: str, base: SimConfig) -> SimConfig:
+    """A copy of ``base`` running ``mechanism``."""
+    if mechanism not in MECHANISMS:
+        raise ValueError(
+            f"unknown mechanism {mechanism!r}; known: {sorted(MECHANISMS)}"
+        )
+    return replace(base, congestion_control=mechanism)
+
+
+def shale_mechanisms() -> List[str]:
+    """The paper's contributed mechanisms."""
+    return [m for m in EVALUATION_ORDER if MECHANISMS[m].kind == "shale"]
+
+
+def baseline_mechanisms() -> List[str]:
+    """The comparison baselines."""
+    return [m for m in EVALUATION_ORDER if MECHANISMS[m].kind == "baseline"]

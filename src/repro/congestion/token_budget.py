@@ -1,0 +1,124 @@
+"""Token-budget analysis (paper Appendix D).
+
+Hop-by-hop caps the number of un-acknowledged cells per (neighbour, bucket)
+at the token budget ``T`` (``T_F`` on first hops).  Because a token takes at
+least one round trip (two propagation delays) to come back, a small budget
+throttles a bucket's sending rate when the propagation delay ``P`` is large
+relative to the epoch length ``E``.
+
+Appendix D gives the conditions under which the throughput guarantee
+survives:
+
+* permutation traffic needs ``P <= h * T_F * E`` (the first hop is the
+  bottleneck since it has no fan-out), and
+* general traffic needs ``P <= h * T * (r - 1) * E`` for the non-first hops,
+  where the fan-in/out degree ``r - 1`` spreads each bucket's load.
+
+This module provides those bounds, the inverse problem (minimum budgets for
+a target propagation delay) and the per-bucket rate ceiling used in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.schedule import Schedule
+
+__all__ = [
+    "max_propagation_delay_first_hop",
+    "max_propagation_delay_interior",
+    "required_first_hop_budget",
+    "required_interior_budget",
+    "bucket_rate_ceiling",
+    "TokenBudgetPlan",
+    "plan_budgets",
+]
+
+
+def max_propagation_delay_first_hop(schedule: Schedule, t_f: int) -> int:
+    """Largest one-way delay (slots) that first-hop budget ``t_f`` tolerates.
+
+    Appendix D: the throughput guarantee holds for permutation traffic while
+    ``P <= h * T_F * E``.
+    """
+    if t_f < 1:
+        raise ValueError("T_F must be >= 1")
+    return schedule.h * t_f * schedule.epoch_length
+
+
+def max_propagation_delay_interior(schedule: Schedule, t: int) -> int:
+    """Largest delay that interior budget ``t`` tolerates.
+
+    Appendix D: fan-in/fan-out of degree ``r - 1`` means the guarantee holds
+    while ``P <= h * T * (r - 1) * E``.
+    """
+    if t < 1:
+        raise ValueError("T must be >= 1")
+    return schedule.h * t * (schedule.r - 1) * schedule.epoch_length
+
+
+def required_first_hop_budget(schedule: Schedule, propagation_delay: int) -> int:
+    """Minimum ``T_F`` sustaining the guarantee at ``propagation_delay``."""
+    if propagation_delay < 0:
+        raise ValueError("propagation delay must be >= 0")
+    if propagation_delay == 0:
+        return 1
+    return max(1, math.ceil(
+        propagation_delay / (schedule.h * schedule.epoch_length)
+    ))
+
+
+def required_interior_budget(schedule: Schedule, propagation_delay: int) -> int:
+    """Minimum ``T`` sustaining the guarantee at ``propagation_delay``."""
+    if propagation_delay < 0:
+        raise ValueError("propagation delay must be >= 0")
+    if propagation_delay == 0:
+        return 1
+    return max(1, math.ceil(
+        propagation_delay
+        / (schedule.h * (schedule.r - 1) * schedule.epoch_length)
+    ))
+
+
+def bucket_rate_ceiling(schedule: Schedule, budget: int,
+                        propagation_delay: int) -> float:
+    """Upper bound on one bucket's send rate (cells/slot) over one link.
+
+    A token returns no sooner than ``max(E, 2P)`` slots after the cell was
+    sent (it must wait for the link's next scheduled slot, one epoch away,
+    and for two propagation traversals), so at most ``budget`` cells go out
+    per such window; the link itself also caps the rate at one cell per
+    epoch.
+    """
+    window = max(schedule.epoch_length, 2 * propagation_delay)
+    return min(1.0 / schedule.epoch_length, budget / window)
+
+
+@dataclass(frozen=True)
+class TokenBudgetPlan:
+    """Recommended budgets for a deployment.
+
+    Attributes:
+        t: interior token budget ``T``.
+        t_f: first-hop token budget ``T_F``.
+        propagation_delay: the delay the plan was sized for (slots).
+    """
+
+    t: int
+    t_f: int
+    propagation_delay: int
+
+
+def plan_budgets(schedule: Schedule, propagation_delay: int) -> TokenBudgetPlan:
+    """Size ``T`` and ``T_F`` for a given propagation delay.
+
+    Follows Appendix D's guidance: raise ``T_F`` first (most of the benefit,
+    least of the cost) and keep ``T`` at the smallest value that clears the
+    interior bound.
+    """
+    return TokenBudgetPlan(
+        t=required_interior_budget(schedule, propagation_delay),
+        t_f=required_first_hop_budget(schedule, propagation_delay),
+        propagation_delay=propagation_delay,
+    )

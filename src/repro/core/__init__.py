@@ -1,0 +1,80 @@
+"""Core Shale abstractions: coordinates, schedules, routing, cells, buckets.
+
+This package contains the paper's primary contribution in library form —
+everything a simulator, a hardware model or an analysis script needs to
+reason about a Shale network, with no simulation machinery attached.
+"""
+
+from .buckets import ActiveBucketTracker, BucketId, TokenLedger
+from .cell import (
+    CELL_SIZE_BYTES,
+    HEADER_SIZE_BYTES,
+    PAYLOAD_SIZE_BYTES,
+    Cell,
+)
+from .coordinates import CoordinateSystem, integer_root, is_perfect_power
+from .header import (
+    TOKEN_INVALIDATE,
+    TOKEN_REGULAR,
+    TOKEN_REVALIDATE,
+    HeaderCodec,
+    Token,
+)
+from .demand_aware import (
+    DemandAwareSchedule,
+    bvn_decomposition,
+    optimal_latency_share,
+    service_fraction,
+)
+from .lanes import LaneSchedule
+from .interleave import (
+    InterleavedSchedule,
+    SubScheduleSpec,
+    two_class_interleave,
+)
+from .routing import Router, direct_semi_path, spray_semi_path_lengths
+from .validation import (
+    ValidationError,
+    audit,
+    validate_bucket_order,
+    validate_routing_reachability,
+    validate_schedule,
+)
+from .schedule import Schedule, SlotInfo, srrd_schedule
+
+__all__ = [
+    "ActiveBucketTracker",
+    "BucketId",
+    "CELL_SIZE_BYTES",
+    "Cell",
+    "CoordinateSystem",
+    "DemandAwareSchedule",
+    "HEADER_SIZE_BYTES",
+    "HeaderCodec",
+    "InterleavedSchedule",
+    "LaneSchedule",
+    "PAYLOAD_SIZE_BYTES",
+    "Router",
+    "Schedule",
+    "SlotInfo",
+    "SubScheduleSpec",
+    "TOKEN_INVALIDATE",
+    "TOKEN_REGULAR",
+    "TOKEN_REVALIDATE",
+    "Token",
+    "TokenLedger",
+    "ValidationError",
+    "audit",
+    "bvn_decomposition",
+    "direct_semi_path",
+    "integer_root",
+    "is_perfect_power",
+    "optimal_latency_share",
+    "service_fraction",
+    "spray_semi_path_lengths",
+    "srrd_schedule",
+    "validate_bucket_order",
+    "validate_routing_reachability",
+    "validate_schedule",
+    "two_class_interleave",
+]

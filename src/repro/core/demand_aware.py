@@ -1,0 +1,200 @@
+"""Demand-aware sub-schedules (paper Section 3.2.2, future work).
+
+    "In the future, Shale could even be interleaved with demand-aware
+    sub-schedules, which may be beneficial for mixed or partially known
+    demands."
+
+This module implements that extension.  A known demand matrix is decomposed
+into permutation matchings (Birkhoff–von-Neumann style, built greedily with
+maximum-weight assignments), the matchings are apportioned timeslots in
+proportion to their weights, and the result is a :class:`DemandAwareSchedule`
+exposing the same ``send_target`` / ``epoch_length`` interface as the
+oblivious :class:`~repro.core.schedule.Schedule` — so it can take timeslots
+inside an :class:`~repro.core.interleave.InterleavedSchedule` next to
+ordinary Shale sub-schedules.
+
+Cells on a demand-aware sub-schedule travel **one hop** (they are only sent
+when source and destination are directly connected), so a pair's achievable
+rate is its share of the matching frame.  For demand it was built for, that
+beats VLB's ``1/(2h)`` by up to ``2h``; for demand it was *not* built for,
+service can be zero — exactly the obliviousness-vs-specialisation tradeoff
+the paper's design space is about.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "bvn_decomposition",
+    "DemandAwareSchedule",
+    "service_fraction",
+    "optimal_latency_share",
+]
+
+
+def bvn_decomposition(
+    demand: Sequence[Sequence[float]],
+    max_matchings: Optional[int] = None,
+    tolerance: float = 1e-9,
+) -> List[Tuple[float, List[int]]]:
+    """Greedy Birkhoff–von-Neumann-style decomposition of a demand matrix.
+
+    Args:
+        demand: an ``n x n`` non-negative matrix; ``demand[i][j]`` is the
+            traffic rate from ``i`` to ``j`` (diagonal must be zero).  Rows
+            and columns need not be doubly stochastic — the decomposition
+            covers whatever mass is there.
+        max_matchings: stop after this many matchings (default ``n``).
+        tolerance: residual mass below which decomposition stops.
+
+    Returns:
+        ``(weight, matching)`` pairs, heaviest first, where ``matching[i]``
+        is the node ``i`` sends to (or ``-1`` for unmatched).  Weights are
+        the bottleneck rates of each matching.
+    """
+    from scipy.optimize import linear_sum_assignment
+
+    matrix = np.array(demand, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("demand must be a square matrix")
+    if (matrix < 0).any():
+        raise ValueError("demand entries must be non-negative")
+    if np.diag(matrix).any():
+        raise ValueError("demand diagonal (self traffic) must be zero")
+    n = matrix.shape[0]
+    limit = max_matchings if max_matchings is not None else n
+    residual = matrix.copy()
+    out: List[Tuple[float, List[int]]] = []
+    for _ in range(limit):
+        if residual.sum() <= tolerance:
+            break
+        # maximum-weight assignment on the residual (exclude the diagonal)
+        cost = -residual.copy()
+        np.fill_diagonal(cost, np.inf)
+        rows, cols = linear_sum_assignment(cost)
+        matching = [-1] * n
+        used = []
+        for i, j in zip(rows, cols):
+            if residual[i][j] > tolerance and i != j:
+                matching[i] = int(j)
+                used.append((i, j))
+        if not used:
+            break
+        weight = min(residual[i][j] for i, j in used)
+        for i, j in used:
+            residual[i][j] -= weight
+        out.append((float(weight), matching))
+    out.sort(key=lambda item: -item[0])
+    return out
+
+
+class DemandAwareSchedule:
+    """A fixed frame of matchings serving a known demand matrix.
+
+    Duck-types the subset of :class:`~repro.core.schedule.Schedule` the
+    interleaver uses: ``n``, ``epoch_length``, ``send_target``.
+
+    Args:
+        demand: the demand matrix the schedule is specialised for.
+        frame_length: timeslots per frame; matchings receive slots in
+            proportion to their decomposition weights (largest remainder).
+    """
+
+    def __init__(
+        self,
+        demand: Sequence[Sequence[float]],
+        frame_length: int = 64,
+        max_matchings: Optional[int] = None,
+    ):
+        if frame_length < 1:
+            raise ValueError("frame must contain at least one slot")
+        self.matchings = bvn_decomposition(demand, max_matchings)
+        if not self.matchings:
+            raise ValueError("demand matrix contains no traffic to schedule")
+        self.n = len(self.matchings[0][1])
+        self.frame_length = frame_length
+        total = sum(w for w, _ in self.matchings)
+        ideal = [w / total * frame_length for w, _ in self.matchings]
+        counts = [int(x) for x in ideal]
+        order = sorted(
+            range(len(ideal)), key=lambda i: ideal[i] - counts[i],
+            reverse=True,
+        )
+        for i in order[: frame_length - sum(counts)]:
+            counts[i] += 1
+        #: slot -> matching index
+        self.frame: List[int] = []
+        for index, count in enumerate(counts):
+            self.frame.extend([index] * count)
+        if not self.frame:
+            self.frame = [0]
+        self.epoch_length = len(self.frame)
+        self._slot_counts = counts
+
+    def send_target(self, node: int, t: int) -> Optional[int]:
+        """Peer of ``node`` at slot ``t`` (None when unmatched that slot)."""
+        matching = self.matchings[self.frame[t % self.epoch_length]][1]
+        target = matching[node]
+        return None if target < 0 else target
+
+    def pair_rate(self, src: int, dst: int) -> float:
+        """Fraction of slots in which ``src`` is matched to ``dst``."""
+        hits = sum(
+            1
+            for slot in range(self.epoch_length)
+            if self.send_target(src, slot) == dst
+        )
+        return hits / self.epoch_length
+
+    def throughput_for(self, demand: Sequence[Sequence[float]]) -> float:
+        """Fraction of ``demand`` this schedule can serve at line rate.
+
+        The binding constraint per pair: service ``min(rate, demand)``;
+        returns served mass / demanded mass.
+        """
+        matrix = np.array(demand, dtype=float)
+        total = matrix.sum()
+        if total <= 0:
+            return 1.0
+        served = 0.0
+        for src in range(self.n):
+            for dst in range(self.n):
+                if matrix[src][dst] > 0:
+                    served += min(matrix[src][dst],
+                                  self.pair_rate(src, dst))
+        return min(1.0, served / total)
+
+
+def service_fraction(
+    schedule: DemandAwareSchedule, demand: Sequence[Sequence[float]]
+) -> float:
+    """Convenience alias for :meth:`DemandAwareSchedule.throughput_for`."""
+    return schedule.throughput_for(demand)
+
+
+def optimal_latency_share(
+    short_flow_load: float,
+    bulk_load: float,
+    h_bulk: int,
+    h_latency: int,
+) -> float:
+    """The interleave share ``s`` equalising utilisation across classes.
+
+    The paper chooses flow-size cutoffs "to allow equivalent utilization of
+    both" sub-schedules; this solves the inverse problem — given the load
+    split, pick ``s`` so both classes sit at the same fraction of their
+    guarantees:
+
+        short / (s / 2h_lat)  ==  bulk / ((1-s) / 2h_bulk)
+    """
+    if short_flow_load < 0 or bulk_load < 0:
+        raise ValueError("loads must be non-negative")
+    if short_flow_load == bulk_load == 0:
+        raise ValueError("at least one class must carry load")
+    a = short_flow_load * 2 * h_latency
+    b = bulk_load * 2 * h_bulk
+    return a / (a + b)

@@ -1,0 +1,215 @@
+"""Schedule interleaving for multiple traffic classes (paper Section 3.2.2).
+
+Interleaving combines several sub-schedules — typically a low-latency
+high-``h`` schedule and a high-throughput low-``h`` schedule — into a single
+master schedule by partitioning the timeslots between them.  Each
+sub-schedule is used unmodified: a cell is routed entirely on one
+sub-schedule, so each retains its throughput and latency properties, merely
+dilated by the inverse of its timeslot share.
+
+The slot partition is deterministic and even (a Bresenham-style spread), so
+a sub-schedule allocated a fraction ``s`` of slots sees its slots spaced as
+uniformly as possible; each sub-schedule's own timeslot counter advances
+only on slots it owns.
+
+Traffic classes are assigned to sub-schedules by a flow-size cutoff (short
+flows ride the low-latency sub-schedule).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .schedule import Schedule
+
+__all__ = ["SubScheduleSpec", "InterleavedSchedule", "two_class_interleave"]
+
+
+class SubScheduleSpec:
+    """One member of an interleaved schedule.
+
+    Attributes:
+        schedule: the sub-schedule itself.
+        share: fraction of master timeslots allocated (0 < share <= 1).
+        name: label used in reports (e.g. ``"h=4"``).
+        max_flow_size: flows of at most this many cells are routed on this
+            sub-schedule (``None`` means no upper bound).  Classification
+            picks the first spec, in declaration order, whose bound admits
+            the flow.
+    """
+
+    __slots__ = ("schedule", "share", "name", "max_flow_size")
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        share: float,
+        name: str = "",
+        max_flow_size: Optional[int] = None,
+    ):
+        if not 0.0 < share <= 1.0:
+            raise ValueError(f"share must be in (0, 1], got {share}")
+        self.schedule = schedule
+        self.share = share
+        self.name = name or f"h={schedule.h}"
+        self.max_flow_size = max_flow_size
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SubScheduleSpec({self.name}, share={self.share})"
+
+
+class InterleavedSchedule:
+    """A master schedule built from interleaved sub-schedules.
+
+    The master schedule repeats a fixed *pattern* of sub-schedule ids whose
+    length is ``resolution``; within the pattern, slots are distributed to
+    each sub-schedule as evenly as possible in proportion to its share
+    (largest-remainder apportionment followed by a Bresenham spread).
+
+    For any master timeslot ``t`` the mapping yields ``(spec index,
+    sub-timeslot)`` where the sub-timeslot is the count of slots previously
+    owned by that sub-schedule — i.e. the sub-schedule's own clock.
+    """
+
+    def __init__(self, specs: Sequence[SubScheduleSpec], resolution: int = 100):
+        if not specs:
+            raise ValueError("need at least one sub-schedule")
+        total = sum(s.share for s in specs)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"shares must sum to 1.0, got {total}")
+        if resolution < len(specs):
+            raise ValueError("resolution smaller than the number of sub-schedules")
+        self.specs = list(specs)
+        self.resolution = resolution
+        self.pattern = self._build_pattern(resolution)
+        # counts[i] = number of slots owned by spec i within one pattern
+        self.pattern_counts = [self.pattern.count(i) for i in range(len(specs))]
+        # prefix[i][j] = slots owned by spec i among pattern[0:j]
+        self._prefix: List[List[int]] = []
+        for i in range(len(specs)):
+            acc, pref = 0, [0]
+            for slot_owner in self.pattern:
+                if slot_owner == i:
+                    acc += 1
+                pref.append(acc)
+            self._prefix.append(pref)
+
+    def _build_pattern(self, resolution: int) -> List[int]:
+        shares = [s.share for s in self.specs]
+        # largest-remainder apportionment of `resolution` slots
+        ideal = [sh * resolution for sh in shares]
+        counts = [int(x) for x in ideal]
+        remainders = sorted(
+            range(len(shares)), key=lambda i: ideal[i] - counts[i], reverse=True
+        )
+        shortfall = resolution - sum(counts)
+        for i in remainders[:shortfall]:
+            counts[i] += 1
+        for i, c in enumerate(counts):
+            if c == 0:
+                raise ValueError(
+                    f"sub-schedule {self.specs[i].name} received zero slots at "
+                    f"resolution {resolution}; raise the resolution"
+                )
+        # Bresenham spread: walk the slots, at each step emit the spec whose
+        # emitted/(expected) ratio lags the most.
+        pattern: List[int] = []
+        emitted = [0] * len(shares)
+        for slot in range(1, resolution + 1):
+            best, best_lag = 0, float("-inf")
+            for i, c in enumerate(counts):
+                lag = slot * c / resolution - emitted[i]
+                if lag > best_lag:
+                    best, best_lag = i, lag
+            pattern.append(best)
+            emitted[best] += 1
+        return pattern
+
+    # ------------------------------------------------------------------ #
+
+    def owner(self, t: int) -> int:
+        """Index of the sub-schedule that owns master timeslot ``t``."""
+        return self.pattern[t % self.resolution]
+
+    def sub_timeslot(self, t: int) -> Tuple[int, int]:
+        """Map master timeslot ``t`` to ``(spec index, sub-timeslot)``."""
+        cycle, pos = divmod(t, self.resolution)
+        i = self.pattern[pos]
+        return i, cycle * self.pattern_counts[i] + self._prefix[i][pos]
+
+    def classify_flow(self, size_cells: int) -> int:
+        """Spec index a flow of ``size_cells`` cells should be routed on."""
+        for i, spec in enumerate(self.specs):
+            if spec.max_flow_size is None or size_cells <= spec.max_flow_size:
+                return i
+        return len(self.specs) - 1
+
+    def effective_epoch_length(self, i: int) -> float:
+        """Master timeslots per iteration of sub-schedule ``i``.
+
+        Dilation by the inverse share: a sub-schedule with share ``s`` takes
+        ``E / s`` master slots per epoch (paper: "a sub-schedule allocated
+        half of the timeslots will take twice as long").
+        """
+        spec = self.specs[i]
+        return spec.schedule.epoch_length * self.resolution / self.pattern_counts[i]
+
+    def effective_throughput(self, i: int) -> float:
+        """Throughput guarantee of sub-schedule ``i`` after dilution."""
+        spec = self.specs[i]
+        return spec.schedule.throughput_guarantee() * spec.share
+
+    def total_throughput(self) -> float:
+        """Sum of the guaranteed throughputs of all sub-schedules."""
+        return sum(self.effective_throughput(i) for i in range(len(self.specs)))
+
+    def max_intrinsic_latency(self, i: int) -> float:
+        """Intrinsic latency of sub-schedule ``i`` in master timeslots."""
+        return 2.0 * self.effective_epoch_length(i)
+
+
+def two_class_interleave(
+    n: int,
+    h_bulk: int,
+    h_latency: int,
+    s: float,
+    cutoff_cells: Optional[int] = None,
+    resolution: int = 100,
+) -> InterleavedSchedule:
+    """Convenience constructor for the paper's two-class configurations.
+
+    Args:
+        n: network size (must be a perfect power for both tunings).
+        h_bulk: the high-throughput (low ``h``) sub-schedule's parameter.
+        h_latency: the low-latency (high ``h``) sub-schedule's parameter.
+        s: fraction of timeslots given to the low-latency sub-schedule
+            (the paper's ``s``; 0 and 1 collapse to single schedules).
+        cutoff_cells: flows at most this long use the low-latency schedule.
+        resolution: slot-pattern granularity.
+
+    Returns:
+        An :class:`InterleavedSchedule` whose spec 0 is the latency class
+        (when ``s > 0``) and whose last spec is the bulk class.
+    """
+    if not 0.0 <= s <= 1.0:
+        raise ValueError(f"s must be within [0, 1], got {s}")
+    specs: List[SubScheduleSpec] = []
+    if s > 0.0:
+        specs.append(
+            SubScheduleSpec(
+                Schedule.for_network(n, h_latency),
+                share=s,
+                name=f"h={h_latency} (latency)",
+                max_flow_size=cutoff_cells,
+            )
+        )
+    if s < 1.0:
+        specs.append(
+            SubScheduleSpec(
+                Schedule.for_network(n, h_bulk),
+                share=1.0 - s,
+                name=f"h={h_bulk} (bulk)",
+                max_flow_size=None,
+            )
+        )
+    return InterleavedSchedule(specs, resolution=resolution)

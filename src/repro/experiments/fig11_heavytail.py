@@ -1,0 +1,48 @@
+"""Figures 11 / 16: congestion control on the heavy-tailed workload.
+
+Same grid as :mod:`~repro.experiments.fig10_shortflow` but on the
+heavy-tailed workload, which produces significant egress congestion.
+Expected shape (log-scale in the paper): hop-by-hop cuts short-flow tails by
+2-3 orders of magnitude vs none, HBH+spray improves further; buffers under
+hop-by-hop drop by orders of magnitude, outperforming RD and NDP; for h=2 the
+idealized ISD baseline still leads on tails due to short flows incast with
+elephants (Appendix B.3 refines this).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..congestion.mechanisms import EVALUATION_ORDER
+from .fig10_shortflow import CcResult, report as _report, run as _run
+
+__all__ = ["run", "report"]
+
+
+def run(
+    n: int = 64,
+    h_values: Sequence[int] = (2, 4),
+    mechanisms: Sequence[str] = EVALUATION_ORDER,
+    duration: int = 60_000,
+    propagation_delay: int = 8,
+    seed: int = 11,
+    load: Optional[float] = None,
+    workers: int = 1,
+) -> CcResult:
+    """The Fig. 11 grid: all mechanisms on the heavy-tailed workload."""
+    return _run(
+        n=n,
+        h_values=h_values,
+        mechanisms=mechanisms,
+        duration=duration,
+        propagation_delay=propagation_delay,
+        workload_name="heavy-tailed",
+        seed=seed,
+        load=load,
+        workers=workers,
+    )
+
+
+def report(result: CcResult) -> str:
+    """Fig. 11-shaped report (same layout as Fig. 10's)."""
+    return _report(result)

@@ -1,0 +1,114 @@
+"""Command-line entry point for the experiment regenerators.
+
+Usage::
+
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner fig01
+    python -m repro.experiments.runner fig11 --set n=64 --set duration=60000
+    python -m repro.experiments.runner all --out results/
+
+``--set key=value`` forwards keyword arguments to the experiment's ``run()``
+(values are parsed as Python literals, so ``--set h_values=(2,4)`` works).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from . import ALL_EXPERIMENTS
+
+__all__ = ["main", "run_experiment"]
+
+
+def _parse_overrides(pairs: List[str]) -> Dict[str, Any]:
+    """Parse ``key=value`` pairs; values are Python literals when possible."""
+    out: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        try:
+            value: Any = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            value = raw  # leave as a string (e.g. workload names)
+        out[key.strip()] = value
+    return out
+
+
+def run_experiment(name: str, overrides: Optional[Dict[str, Any]] = None) -> str:
+    """Run one experiment and return its text report."""
+    module = ALL_EXPERIMENTS.get(name)
+    if module is None:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {sorted(ALL_EXPERIMENTS)}"
+        )
+    result = module.run(**(overrides or {}))
+    return module.report(result)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate figures from the Shale paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (fig01..fig17, appd) or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a run() keyword argument (repeatable)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="directory to write <experiment>.txt reports into",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        for name, module in sorted(ALL_EXPERIMENTS.items()):
+            doc = (module.__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"{name:8s} {summary}")
+        return 0
+
+    names = (
+        sorted(ALL_EXPERIMENTS) if args.experiment == "all"
+        else [args.experiment]
+    )
+    overrides = _parse_overrides(args.overrides)
+    status = 0
+    for name in names:
+        started = time.time()
+        try:
+            report = run_experiment(name, overrides if len(names) == 1 else {})
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        elapsed = time.time() - started
+        print(report)
+        print(f"[{name} finished in {elapsed:.1f}s]")
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(report + "\n")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""Failure detection, invalidation tokens and rerouting (Section 3.4)."""
+
+from .direct_tree import (
+    DirectPathTree,
+    direct_next_hop,
+    invalidated_destinations,
+)
+from .manager import FailureEvent, FailureManager
+
+__all__ = [
+    "DirectPathTree",
+    "FailureEvent",
+    "FailureManager",
+    "direct_next_hop",
+    "invalidated_destinations",
+]

@@ -1,0 +1,140 @@
+"""The direct-semi-path tree and subtree invalidation (paper Appendix A).
+
+For a fixed destination ``j`` and phase ordering, the direct semi-paths from
+every node to ``j`` are deterministic and form a tree rooted at ``j``: each
+node's parent is the next hop of its direct semi-path.  Appendix A exploits
+this structure for failure propagation — an invalidation token ``{j, 0}``
+received from a neighbour lets a node compute exactly which final link died
+and which destinations became unreachable *through that neighbour*, because
+the token must have travelled backwards along tree edges.
+
+This module provides the tree computation and the subtree queries that the
+full protocol needs:
+
+* :func:`direct_next_hop` — a node's parent in destination ``j``'s tree;
+* :class:`DirectPathTree` — the whole tree with children/subtree queries;
+* :func:`invalidated_destinations` — given a failed link ``(i, j)``, the set
+  of destinations whose direct semi-paths from a node ``k`` traverse it.
+
+The simulator's failure manager uses the coarser learned-failed-set
+propagation (documented in DESIGN.md); these utilities implement the
+paper-exact computation and are validated against the manager's behaviour in
+the test suite, serving both as a reference implementation and as the
+starting point for a fully per-bucket protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.coordinates import CoordinateSystem
+
+__all__ = [
+    "direct_next_hop",
+    "DirectPathTree",
+    "invalidated_destinations",
+]
+
+
+def direct_next_hop(
+    coords: CoordinateSystem, node: int, dst: int, start_phase: int = 0
+) -> Optional[int]:
+    """The first hop of ``node``'s direct semi-path towards ``dst``.
+
+    Phases are scanned cyclically from ``start_phase``; returns ``None``
+    when ``node == dst``.
+    """
+    for i in range(coords.h):
+        p = (start_phase + i) % coords.h
+        mine = coords.coordinate(node, p)
+        want = coords.coordinate(dst, p)
+        if mine != want:
+            return coords.with_coordinate(node, p, want)
+    return None
+
+
+class DirectPathTree:
+    """The tree of direct semi-paths into one destination.
+
+    Built once per (destination, phase ordering); queries are O(1) per node
+    after construction.
+    """
+
+    def __init__(self, coords: CoordinateSystem, dst: int, start_phase: int = 0):
+        self.coords = coords
+        self.dst = dst
+        self.start_phase = start_phase
+        self.parent: Dict[int, int] = {}
+        self.children: Dict[int, List[int]] = {}
+        for node in range(coords.n):
+            if node == dst:
+                continue
+            hop = direct_next_hop(coords, node, dst, start_phase)
+            assert hop is not None
+            self.parent[node] = hop
+            self.children.setdefault(hop, []).append(node)
+
+    def path_from(self, node: int) -> List[int]:
+        """The direct semi-path from ``node`` to the destination."""
+        path = [node]
+        while path[-1] != self.dst:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def subtree(self, node: int) -> Set[int]:
+        """All nodes whose direct semi-paths pass through ``node``
+        (including ``node`` itself; excluding the destination)."""
+        out: Set[int] = set()
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if cur == self.dst:
+                continue
+            out.add(cur)
+            stack.extend(self.children.get(cur, ()))
+        return out
+
+    def uses_link(self, node: int, link: Tuple[int, int]) -> bool:
+        """Whether ``node``'s direct semi-path traverses directed ``link``."""
+        a, b = link
+        path = self.path_from(node)
+        return any(x == a and y == b for x, y in zip(path, path[1:]))
+
+    def depth(self, node: int) -> int:
+        """Hops from ``node`` to the destination along the tree."""
+        return len(self.path_from(node)) - 1
+
+
+def invalidated_destinations(
+    coords: CoordinateSystem,
+    observer: int,
+    failed_link: Tuple[int, int],
+    start_phase: int = 0,
+) -> Set[int]:
+    """Destinations unreachable from ``observer`` via direct semi-paths
+    because of ``failed_link``.
+
+    This is the set a single ``{j, 0}`` invalidation token communicates
+    (paper Appendix A: "a single invalidation token with index 0 may
+    indicate that cells at node i can no longer reach multiple destinations
+    via direct semi-paths").
+
+    Brute-force over destinations — exact, intended for verification and
+    for small radixes; a production implementation exploits the coordinate
+    structure to enumerate the affected subtree directly.
+    """
+    failed_from, failed_to = failed_link
+    out: Set[int] = set()
+    for dst in range(coords.n):
+        if dst == observer:
+            continue
+        tree = DirectPathTree(coords, dst, start_phase)
+        if observer == dst:
+            continue
+        path = tree.path_from(observer)
+        if any(
+            x == failed_from and y == failed_to
+            for x, y in zip(path, path[1:])
+        ):
+            out.add(dst)
+    return out

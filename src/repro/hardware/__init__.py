@@ -1,0 +1,29 @@
+"""Hardware models: FPGA end-host prototype and memory scaling."""
+
+from .memory_model import (
+    BUCKET_ID_BYTES,
+    COUNTER_BYTES,
+    SHOAL_PAIR_STATE_BYTES,
+    TOKEN_BYTES,
+    ShaleMemoryModel,
+    shoal_on_chip_bytes,
+)
+from .pieo_hw import PieoHardwareModel
+from .prototype import HardwareNetwork, HardwareNode, HardwareTimings
+from .resources import ResourceObservation, observe_resources, provision_memory
+
+__all__ = [
+    "BUCKET_ID_BYTES",
+    "COUNTER_BYTES",
+    "HardwareNetwork",
+    "HardwareNode",
+    "HardwareTimings",
+    "PieoHardwareModel",
+    "ResourceObservation",
+    "SHOAL_PAIR_STATE_BYTES",
+    "ShaleMemoryModel",
+    "TOKEN_BYTES",
+    "observe_resources",
+    "provision_memory",
+    "shoal_on_chip_bytes",
+]

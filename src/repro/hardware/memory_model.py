@@ -1,0 +1,165 @@
+"""Hardware memory-requirement models (paper Sections 4.2, 4.3; Fig. 7).
+
+Shale's end-host needs:
+
+* **on-chip memory** — PIEO queues (bucket ids), token return queues, local
+  token counts for active buckets, and the bucket<->index maps:
+  ``O(h (r-1) (Q_P + Q_T + A) + h N)`` where ``A`` is the active-bucket
+  allocation, ``Q_P`` the PIEO queue depth and ``Q_T`` the token-return
+  queue depth;
+* **DRAM** — cell buffers for ``2 A h (r - 1)`` cells after both Section 4.2
+  optimizations (per-phase shared spray queues + active-bucket allocation).
+
+Shoal (representative of RotorNet and Sirius — same schedule and routing)
+keeps per-neighbour state for all ``N - 1`` neighbours: its hop-by-hop
+variant stores one queue per (neighbour, destination) pair reachable in its
+2-hop paths, giving on-chip memory that scales linearly in ``N`` per
+neighbour — quadratically overall — which is what Fig. 7 plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.cell import CELL_SIZE_BYTES
+
+__all__ = [
+    "ShaleMemoryModel",
+    "shoal_on_chip_bytes",
+    "BUCKET_ID_BYTES",
+    "TOKEN_BYTES",
+    "COUNTER_BYTES",
+]
+
+#: bytes to store one bucket id in on-chip memory (dest id + spray index)
+BUCKET_ID_BYTES = 3
+#: bytes per queued token (same contents as a bucket id + kind bits)
+TOKEN_BYTES = 3
+#: bytes per token/flow counter
+COUNTER_BYTES = 2
+
+
+@dataclass(frozen=True)
+class ShaleMemoryModel:
+    """On-chip and DRAM memory required by a Shale end host.
+
+    Args:
+        n: network size.
+        h: tuning parameter.
+        active_buckets: the allocation ``A`` for active buckets.
+        pieo_depth: per-link PIEO queue depth ``Q_P``.
+        token_queue_depth: per-neighbour token return queue depth ``Q_T``.
+    """
+
+    n: int
+    h: int
+    active_buckets: int
+    pieo_depth: int
+    token_queue_depth: int
+
+    @property
+    def radix(self) -> int:
+        """Phase-group size ``r`` (rounded up for non-perfect powers)."""
+        r = math.ceil(self.n ** (1.0 / self.h))
+        while r**self.h < self.n:
+            r += 1
+        while r > 2 and (r - 1) ** self.h >= self.n:
+            r -= 1
+        return max(2, r)
+
+    @property
+    def neighbors(self) -> int:
+        """Total one-hop neighbours: ``h (r - 1)``."""
+        return self.h * (self.radix - 1)
+
+    def pieo_bytes(self) -> int:
+        """PIEO queues: one per neighbour, ``Q_P`` bucket ids deep."""
+        return self.neighbors * self.pieo_depth * BUCKET_ID_BYTES
+
+    def token_queue_bytes(self) -> int:
+        """Token return queues: one per neighbour, ``Q_T`` tokens deep."""
+        return self.neighbors * self.token_queue_depth * TOKEN_BYTES
+
+    def token_count_bytes(self) -> int:
+        """Local token counts for the ``A`` active buckets, per phase degree.
+
+        Section 4.2: ``A h (r - 1)`` counters.
+        """
+        return self.active_buckets * self.neighbors * COUNTER_BYTES
+
+    def bucket_map_bytes(self) -> int:
+        """Forward map (size ``h N``) plus reverse map (size ``A``)."""
+        index_bytes = max(1, (self.active_buckets.bit_length() + 7) // 8)
+        forward = self.h * self.n * index_bytes
+        reverse = self.active_buckets * BUCKET_ID_BYTES
+        return forward + reverse
+
+    def freelist_bytes(self) -> int:
+        """Freelist bitmap over the ``A`` active bucket slots."""
+        return (self.active_buckets + 7) // 8
+
+    def on_chip_bytes(self) -> int:
+        """Total on-chip memory (the Fig. 7 y-axis for Shale)."""
+        return (
+            self.pieo_bytes()
+            + self.token_queue_bytes()
+            + self.token_count_bytes()
+            + self.bucket_map_bytes()
+            + self.freelist_bytes()
+        )
+
+    def dram_cells(self) -> int:
+        """Cell buffers after both optimizations: ``2 A h (r - 1)`` cells."""
+        return 2 * self.active_buckets * self.neighbors
+
+    def dram_bytes(self) -> int:
+        """DRAM bytes for forwarded-cell storage."""
+        return self.dram_cells() * CELL_SIZE_BYTES
+
+    def naive_dram_cells(self) -> int:
+        """Cell storage without the Section 4.2 optimizations.
+
+        Per-neighbour, per-bucket FIFOs each sized for ``r - 1`` cells:
+        ``h^2 N (r - 1)^2`` cells.
+        """
+        return self.h**2 * self.n * (self.radix - 1) ** 2
+
+    def first_optimization_dram_cells(self) -> int:
+        """Cell storage with only the shared-spray-queue optimization:
+        ``h^2 N (r - 1)`` cells."""
+        return self.h**2 * self.n * (self.radix - 1)
+
+
+#: per-(neighbour, destination) queue state in Shoal: head/tail pointers,
+#: a token counter and an occupancy bit — about six bytes of SRAM.
+SHOAL_PAIR_STATE_BYTES = 6
+
+
+def shoal_on_chip_bytes(
+    n: int,
+    cell_buffer_depth: int = 2,
+) -> int:
+    """On-chip memory for Shoal's end host at ``n`` nodes (Fig. 7 baseline).
+
+    Shoal (representative of RotorNet and Sirius: same SRRD schedule and
+    routing) gives every node ``N - 1`` neighbours.  Its hop-by-hop
+    congestion control maintains the invariant "at most one enqueued cell
+    per (upstream neighbour, destination) pair", which requires queue and
+    token state for every such pair — ``(N - 1)^2`` entries of
+    :data:`SHOAL_PAIR_STATE_BYTES` each.  This quadratic term dominates; a
+    per-neighbour cell buffer of ``cell_buffer_depth`` cells adds the linear
+    remainder.
+
+    The resulting curve matches the published scaling: ~100 MB near
+    N=5,000 growing to multiple GB by N=25,000, orders of magnitude above
+    Shale with ``h > 1`` (whose neighbour count is ``h (r - 1)``, not
+    ``N - 1``).
+    """
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    neighbors = n - 1
+    pair_state = neighbors * neighbors * SHOAL_PAIR_STATE_BYTES
+    cell_buffers = neighbors * cell_buffer_depth * CELL_SIZE_BYTES
+    counters = neighbors * COUNTER_BYTES
+    return pair_state + cell_buffers + counters

@@ -1,0 +1,104 @@
+"""Timing model of the hardware PIEO module (paper Sections 4.3, App. C).
+
+The FPGA prototype implements PIEO queues after Shrivastav (SIGCOMM 2019):
+a dequeue occupies the module for four clock cycles, eligibility testing and
+rank comparison use priority encoders, and — because only one PIEO queue is
+dequeued at a time — multiplexers share a single set of priority encoders
+across all of a node's queues (Section 4.3's scalability argument).
+
+Appendix C builds the feasibility story on top: the RX and TX paths can each
+use the module once per timeslot, so a timeslot must be at least four cycles
+long with a dedicated module per path (or eight sharing one).  This model
+captures those constraints so configurations can be checked analytically:
+
+* how many PIEO operations per timeslot a given clock/slot budget allows;
+* whether a target timeslot period is feasible with ``m`` modules;
+* the ALM-style cost proxy of sharing encoders vs. replicating them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PieoHardwareModel"]
+
+
+@dataclass(frozen=True)
+class PieoHardwareModel:
+    """Feasibility/cost model of a node's PIEO subsystem.
+
+    Attributes:
+        queues: PIEO queues at the node (one per neighbour link).
+        depth: entries per queue.
+        op_cycles: cycles one enqueue/dequeue occupies the module (4 in
+            the reference design).
+        modules: parallel PIEO modules (1 shares encoders across all
+            queues via multiplexers; more trade area for rate).
+        clock_mhz: module clock.
+    """
+
+    queues: int
+    depth: int
+    op_cycles: int = 4
+    modules: int = 1
+    clock_mhz: float = 156.25
+
+    def __post_init__(self) -> None:
+        if self.queues < 1 or self.depth < 1:
+            raise ValueError("need at least one queue with one entry")
+        if self.op_cycles < 1 or self.modules < 1:
+            raise ValueError("op_cycles and modules must be positive")
+
+    # ------------------------------------------------------------------ #
+    # rate / feasibility
+
+    def ops_per_slot(self, cycles_per_slot: int) -> int:
+        """PIEO operations available per timeslot."""
+        if cycles_per_slot < 1:
+            raise ValueError("timeslot must be at least one cycle")
+        return (cycles_per_slot // self.op_cycles) * self.modules
+
+    def supports_timeslot(self, cycles_per_slot: int,
+                          ops_needed: int = 2) -> bool:
+        """Whether a slot of ``cycles_per_slot`` cycles fits the RX + TX
+        PIEO work (one op each by default, Appendix C)."""
+        return self.ops_per_slot(cycles_per_slot) >= ops_needed
+
+    def min_timeslot_cycles(self, ops_needed: int = 2) -> int:
+        """Shortest feasible timeslot in cycles.
+
+        Appendix C: "Our design can easily support four-cycle timeslots by
+        using a dedicated PIEO module for both the RX and TX paths" — i.e.
+        ``ops_needed=2`` with ``modules=2`` gives 4 cycles.
+        """
+        per_module = -(-ops_needed // self.modules)  # ceil
+        return per_module * self.op_cycles
+
+    def min_timeslot_ns(self, ops_needed: int = 2) -> float:
+        """Shortest feasible timeslot in nanoseconds at this clock."""
+        return self.min_timeslot_cycles(ops_needed) * 1e3 / self.clock_mhz
+
+    # ------------------------------------------------------------------ #
+    # area proxies
+
+    def encoder_sets(self) -> int:
+        """Priority-encoder sets instantiated: one per module — *not* one
+        per queue, thanks to the multiplexer sharing of Section 4.3."""
+        return self.modules
+
+    def encoder_width(self) -> int:
+        """Width each priority encoder must handle: the queue depth."""
+        return self.depth
+
+    def mux_inputs(self) -> int:
+        """Multiplexer fan-in to share the encoders across queues."""
+        return self.queues
+
+    def area_cost_proxy(self) -> int:
+        """A dimensionless area proxy: encoders dominate (width x sets),
+        plus per-queue storage wiring."""
+        return self.encoder_width() * self.encoder_sets() + self.queues
+
+    def naive_area_cost_proxy(self) -> int:
+        """The same proxy without encoder sharing (one set per queue)."""
+        return self.encoder_width() * self.queues + self.queues

@@ -1,0 +1,77 @@
+"""Hardware resource measurement from simulation runs (Figs. 7 and 13).
+
+The paper dimensions its FPGA design from simulation: the maximum number of
+*active buckets* and the maximum *PIEO queue length* observed in the
+scalability experiments (both doubled for headroom) feed the memory model of
+Section 4.3.  This module extracts those quantities from a finished
+:class:`~repro.sim.engine.Engine` run and produces the corresponding
+:class:`~repro.hardware.memory_model.ShaleMemoryModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.engine import Engine
+from .memory_model import ShaleMemoryModel
+
+__all__ = ["ResourceObservation", "observe_resources", "provision_memory"]
+
+
+@dataclass(frozen=True)
+class ResourceObservation:
+    """Peak resource usage observed during a run.
+
+    Attributes:
+        n, h: network parameters.
+        max_active_buckets: peak number of simultaneously active buckets at
+            any node.
+        max_pieo_length: peak occupancy of any PIEO queue.
+        max_buffer_occupancy: peak total cells buffered at any node.
+    """
+
+    n: int
+    h: int
+    max_active_buckets: int
+    max_pieo_length: int
+    max_buffer_occupancy: int
+
+
+def observe_resources(engine: Engine) -> ResourceObservation:
+    """Extract peak hardware-relevant occupancies from a finished run."""
+    max_active = 0
+    max_pieo = 0
+    max_buffer = 0
+    for node in engine.nodes:
+        if node.bucket_tracker is not None:
+            max_active = max(max_active, node.bucket_tracker.peak)
+        max_pieo = max(max_pieo, node.max_pieo_occupancy())
+        max_buffer = max(max_buffer, node.buffer_occupancy())
+    # metrics track sampled maxima too; take the larger of the two views
+    max_active = max(max_active, engine.metrics.max_active_buckets)
+    max_pieo = max(max_pieo, engine.metrics.max_pieo_length)
+    max_buffer = max(max_buffer, engine.metrics.max_buffer_occupancy)
+    return ResourceObservation(
+        n=engine.config.n,
+        h=engine.config.h,
+        max_active_buckets=max_active,
+        max_pieo_length=max_pieo,
+        max_buffer_occupancy=max_buffer,
+    )
+
+
+def provision_memory(
+    observation: ResourceObservation,
+    headroom: float = 2.0,
+    token_queue_depth: int = 16,
+) -> ShaleMemoryModel:
+    """Dimension the end host from observed peaks (paper doubles them)."""
+    if headroom < 1.0:
+        raise ValueError("headroom must be >= 1.0")
+    return ShaleMemoryModel(
+        n=observation.n,
+        h=observation.h,
+        active_buckets=max(1, int(observation.max_active_buckets * headroom)),
+        pieo_depth=max(1, int(observation.max_pieo_length * headroom)),
+        token_queue_depth=token_queue_depth,
+    )

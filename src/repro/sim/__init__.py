@@ -1,0 +1,38 @@
+"""Packet-level discrete-timeslot simulator for Shale networks."""
+
+from .config import PAPER_TIMING, SimConfig, TimingModel
+from .engine import Engine, ScheduledFlow
+from .flows import Flow, FlowRecord, FlowTable
+from .metrics import MetricsCollector, percentile
+from .multiclass import MultiClassSimulation
+from .node import ControlMessage, Node, Transmission
+from .parallel import default_workers, sweep
+from .pieo import PieoQueue
+from .reorder import ReorderBuffer, ReorderTracker
+from .trace import CellTrace, CellTracer, TraceError, validate_trace
+
+__all__ = [
+    "ControlMessage",
+    "Engine",
+    "Flow",
+    "FlowRecord",
+    "FlowTable",
+    "MetricsCollector",
+    "MultiClassSimulation",
+    "Node",
+    "PAPER_TIMING",
+    "PieoQueue",
+    "CellTrace",
+    "CellTracer",
+    "TraceError",
+    "validate_trace",
+    "ScheduledFlow",
+    "SimConfig",
+    "TimingModel",
+    "Transmission",
+    "percentile",
+    "ReorderBuffer",
+    "ReorderTracker",
+    "default_workers",
+    "sweep",
+]

@@ -1,0 +1,227 @@
+"""The packet-level simulation engine.
+
+The engine advances a synchronous timeslot clock.  Per slot it:
+
+1. delivers transmissions whose propagation deadline has passed (RX paths),
+2. injects flows whose arrival time has come,
+3. runs every non-idle node's TX path and puts the result on the wire,
+4. samples metrics at the configured interval.
+
+Propagation is modelled with a FIFO of in-flight transmissions: sends happen
+in time order, so the deque stays sorted by arrival deadline and delivery is
+O(1) per transmission.
+
+The engine also hosts the two pieces of *global* machinery the paper's
+baselines assume: the ISD clairvoyant flow registry (Section 5.3, baseline 3)
+and the failure manager hooks (Section 3.4).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from ..core.coordinates import CoordinateSystem
+from ..core.header import Token
+from ..core.schedule import Schedule
+from .config import SimConfig
+from .flows import Flow, FlowTable
+from .metrics import MetricsCollector
+from .node import Node, Transmission
+
+__all__ = ["Engine", "ScheduledFlow"]
+
+#: A flow injection request: (arrival timeslot, src, dst, size in cells,
+#: size in bytes).
+ScheduledFlow = Tuple[int, int, int, int, int]
+
+
+class Engine:
+    """Simulates one Shale network running a single (sub-)schedule.
+
+    Args:
+        config: run parameters.
+        workload: iterable of :data:`ScheduledFlow` tuples sorted by arrival
+            time.  May also be supplied later via :meth:`schedule_flows`.
+        failure_manager: optional failure-protocol implementation (an object
+            with ``on_token`` and ``apply`` hooks; see
+            :mod:`repro.failures.manager`).
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        workload: Optional[Iterable[ScheduledFlow]] = None,
+        failure_manager=None,
+    ):
+        self.config = config
+        self.coords = CoordinateSystem(config.n, config.h)
+        self.schedule = Schedule(self.coords)
+        self.rng = random.Random(config.seed)
+        self.flows = FlowTable()
+        self.metrics = MetricsCollector(
+            config.n,
+            sample_interval=config.metrics_sample_interval,
+            warmup=config.warmup,
+        )
+        self.nodes: List[Node] = [Node(i, self) for i in range(config.n)]
+        self.t = 0
+        self._in_flight: Deque[Tuple[int, Transmission]] = deque()
+        self._pending_flows: Deque[ScheduledFlow] = deque()
+        if workload is not None:
+            self.schedule_flows(workload)
+        self.failure_manager = failure_manager
+        if failure_manager is not None:
+            failure_manager.apply(self)
+        #: optional CellTracer (see repro.sim.trace) recording cell paths
+        self.tracer = None
+        #: optional callable(cell, t) invoked on every payload delivery
+        #: (used by repro.sim.reorder.ReorderTracker, among others)
+        self.delivery_hook = None
+        # ISD bookkeeping: last time each flow's credit was topped up
+        self._isd_last: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # workload plumbing
+
+    def schedule_flows(self, workload: Iterable[ScheduledFlow]) -> None:
+        """Queue flow arrivals; they must be sorted by arrival timeslot."""
+        last = self._pending_flows[-1][0] if self._pending_flows else -1
+        for item in workload:
+            if item[0] < last:
+                raise ValueError("workload must be sorted by arrival time")
+            last = item[0]
+            self._pending_flows.append(item)
+
+    def _inject_flows(self, t: int) -> None:
+        pending = self._pending_flows
+        while pending and pending[0][0] <= t:
+            arrival, src, dst, size_cells, size_bytes = pending.popleft()
+            node = self.nodes[src]
+            if node.failed or self.nodes[dst].failed:
+                continue
+            flow = self.flows.new_flow(
+                src, dst, size_cells, arrival, size_bytes=size_bytes
+            )
+            node.add_flow(flow)
+
+    # ------------------------------------------------------------------ #
+    # main loop
+
+    def run(self, duration: Optional[int] = None) -> MetricsCollector:
+        """Run for ``duration`` timeslots (default: ``config.duration``)."""
+        end = self.t + (duration if duration is not None else self.config.duration)
+        while self.t < end:
+            self.step()
+        return self.metrics
+
+    def run_until_quiescent(self, max_extra: int = 1_000_000) -> MetricsCollector:
+        """Keep stepping until every flow completes (or ``max_extra`` slots)."""
+        deadline = self.t + max_extra
+        while self.t < deadline and (
+            self._pending_flows or self.flows.active_count or self._in_flight
+        ):
+            self.step()
+        return self.metrics
+
+    def step(self) -> None:
+        """Advance the simulation by one timeslot."""
+        t = self.t
+        phase = self.schedule.phase_of(t)
+        offset = self.schedule.offset_of(t)
+        if self.failure_manager is not None:
+            self.failure_manager.advance(self, t)
+        self._deliver_arrivals(t, phase)
+        self._inject_flows(t)
+        self._run_tx(t, phase, offset)
+        if self.metrics.should_sample(t):
+            self._sample_metrics()
+        self.t = t + 1
+
+    def _deliver_arrivals(self, t: int, phase: int) -> None:
+        in_flight = self._in_flight
+        nodes = self.nodes
+        while in_flight and in_flight[0][0] <= t:
+            _, tx = in_flight.popleft()
+            receiver = nodes[tx.receiver]
+            if receiver.failed:
+                continue
+            # the phase the receiver is in *now* determines the next hop
+            receiver.receive(tx, t, self.schedule.phase_of(t))
+
+    def _run_tx(self, t: int, phase: int, offset: int) -> None:
+        arrival = t + self.config.propagation_delay
+        in_flight = self._in_flight
+        metrics = self.metrics
+        tracer = self.tracer
+        for node in self.nodes:
+            if node.failed or node.idle:
+                continue
+            tx = node.transmit(t, phase, offset)
+            if tx is None:
+                continue
+            metrics.on_cell_sent(tx.cell.dummy)
+            if tx.tokens:
+                metrics.on_token_sent(len(tx.tokens))
+            if tracer is not None and not tx.cell.dummy:
+                tracer.on_hop(tx.cell, tx.sender, tx.receiver, t)
+            in_flight.append((arrival, tx))
+
+    def _sample_metrics(self) -> None:
+        metrics = self.metrics
+        for node in self.nodes:
+            if node.failed:
+                continue
+            lengths = [len(q) for q in node.link_queues if q]
+            metrics.sample_node(
+                node.buffer_occupancy(),
+                lengths,
+                active_buckets=node.active_bucket_count(),
+                pieo_length=node.max_pieo_occupancy(),
+            )
+        metrics.end_sample_window()
+
+    # ------------------------------------------------------------------ #
+    # ISD (idealized sender-driven) global rate control
+
+    def isd_credit(self, flow: Flow, t: int) -> bool:
+        """Top up and test the flow's ISD send credit.
+
+        The global receiver-bandwidth budget ``R = isd_rate_factor / (2h)``
+        is split evenly between the ``k`` flows currently addressing the
+        destination, with instantaneous (clairvoyant) knowledge of ``k``.
+        """
+        rate = (
+            self.config.isd_rate_factor
+            * self.schedule.throughput_guarantee()
+            / max(1, self.flows.flows_to(flow.dst))
+        )
+        last = self._isd_last.get(flow.flow_id, flow.arrival)
+        if t > last:
+            flow.credit = min(4.0, flow.credit + rate * (t - last))
+            self._isd_last[flow.flow_id] = t
+        return flow.credit >= 1.0
+
+    # ------------------------------------------------------------------ #
+    # failure hooks (delegated to the failure manager when present)
+
+    def failures_on_token(self, node: Node, sender: int, token: Token,
+                          phase: int) -> None:
+        """Dispatch an invalidation/re-validation token to the manager."""
+        if self.failure_manager is not None:
+            self.failure_manager.on_token(self, node, sender, token, phase)
+
+    # ------------------------------------------------------------------ #
+    # conveniences
+
+    def throughput(self) -> float:
+        """Mean delivered payload per node per slot so far (line-rate frac)."""
+        alive = sum(1 for n in self.nodes if not n.failed)
+        return self.metrics.mean_throughput_cells_per_slot(max(1, self.t), alive)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Engine(n={self.config.n}, h={self.config.h}, "
+            f"cc={self.config.congestion_control!r}, t={self.t})"
+        )

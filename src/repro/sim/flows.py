@@ -1,0 +1,190 @@
+"""Flow lifecycle management for the simulator.
+
+A *flow* is a unidirectional transfer of a fixed number of cells between two
+end hosts.  Flows are injected by a workload generator, admit cells into the
+network according to the active congestion-control policy, and complete when
+the receiver has every cell.  The :class:`FlowTable` owns all flow state and
+produces the per-flow records the FCT analysis consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["Flow", "FlowRecord", "FlowTable"]
+
+
+class Flow:
+    """An active flow at its sender.
+
+    Attributes:
+        flow_id: unique id.
+        src / dst: endpoint node ids.
+        size_cells: total cells to deliver.
+        size_bytes: original size in bytes (for flow-size bucketing).
+        arrival: timeslot at which the flow arrived at the sender.
+        sent: cells admitted to the network so far.
+        delivered: cells received by the destination so far.
+        schedule_class: sub-schedule index for interleaved runs.
+    """
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "size_cells",
+        "size_bytes",
+        "arrival",
+        "sent",
+        "delivered",
+        "completed_at",
+        "schedule_class",
+        "credit",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: int,
+        dst: int,
+        size_cells: int,
+        arrival: int,
+        size_bytes: Optional[int] = None,
+        schedule_class: int = 0,
+    ):
+        if size_cells < 1:
+            raise ValueError("flow must contain at least one cell")
+        if src == dst:
+            raise ValueError("flow source and destination must differ")
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size_cells = size_cells
+        self.size_bytes = size_bytes if size_bytes is not None else size_cells * 244
+        self.arrival = arrival
+        self.sent = 0
+        self.delivered = 0
+        self.completed_at: Optional[int] = None
+        self.schedule_class = schedule_class
+        #: transport-level send credit (used by RD/NDP/ISD policies)
+        self.credit = 0.0
+
+    @property
+    def remaining(self) -> int:
+        """Cells not yet admitted to the network."""
+        return self.size_cells - self.sent
+
+    @property
+    def done_sending(self) -> bool:
+        return self.sent >= self.size_cells
+
+    @property
+    def complete(self) -> bool:
+        return self.delivered >= self.size_cells
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Flow({self.flow_id}: {self.src}->{self.dst}, "
+            f"{self.delivered}/{self.size_cells} cells)"
+        )
+
+
+class FlowRecord:
+    """Immutable record of a completed flow, for analysis."""
+
+    __slots__ = ("flow_id", "src", "dst", "size_cells", "size_bytes",
+                 "arrival", "completed_at")
+
+    def __init__(self, flow: Flow):
+        if flow.completed_at is None:
+            raise ValueError("flow has not completed")
+        self.flow_id = flow.flow_id
+        self.src = flow.src
+        self.dst = flow.dst
+        self.size_cells = flow.size_cells
+        self.size_bytes = flow.size_bytes
+        self.arrival = flow.arrival
+        self.completed_at = flow.completed_at
+
+    @property
+    def fct(self) -> int:
+        """Flow completion time in timeslots."""
+        return self.completed_at - self.arrival
+
+    def normalized_fct(self, propagation_delay: int) -> float:
+        """Size-normalised FCT (paper Section 5).
+
+        The ideal single-hop line-rate transfer of ``F`` cells with
+        propagation delay ``P`` takes ``F + P`` slots; the normalised FCT is
+        the measured FCT divided by that ideal.
+        """
+        ideal = self.size_cells + propagation_delay
+        return self.fct / ideal
+
+
+class FlowTable:
+    """Registry of all flows in a run, active and completed."""
+
+    def __init__(self) -> None:
+        self._active: Dict[int, Flow] = {}
+        self.completed: List[FlowRecord] = []
+        self._next_id = 0
+        #: per-destination count of flows currently being sent (for ISD)
+        self.incast_degree: Dict[int, int] = {}
+
+    def new_flow(
+        self,
+        src: int,
+        dst: int,
+        size_cells: int,
+        arrival: int,
+        size_bytes: Optional[int] = None,
+        schedule_class: int = 0,
+    ) -> Flow:
+        """Create, register and return a new flow."""
+        flow = Flow(
+            self._next_id, src, dst, size_cells, arrival,
+            size_bytes=size_bytes, schedule_class=schedule_class,
+        )
+        self._next_id += 1
+        self._active[flow.flow_id] = flow
+        self.incast_degree[dst] = self.incast_degree.get(dst, 0) + 1
+        return flow
+
+    def get(self, flow_id: int) -> Optional[Flow]:
+        """Look up an active flow (None once completed)."""
+        return self._active.get(flow_id)
+
+    def record_delivery(self, flow_id: int, t: int) -> Optional[FlowRecord]:
+        """Count one delivered cell; finalise the flow if that was the last.
+
+        Returns the completion record when the flow finishes, else None.
+        """
+        flow = self._active.get(flow_id)
+        if flow is None:
+            return None
+        flow.delivered += 1
+        if flow.complete:
+            flow.completed_at = t
+            record = FlowRecord(flow)
+            self.completed.append(record)
+            del self._active[flow.flow_id]
+            remaining = self.incast_degree.get(flow.dst, 1) - 1
+            if remaining:
+                self.incast_degree[flow.dst] = remaining
+            else:
+                self.incast_degree.pop(flow.dst, None)
+            return record
+        return None
+
+    def active_flows(self) -> Iterable[Flow]:
+        """Iterate flows that have not completed."""
+        return self._active.values()
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def flows_to(self, dst: int) -> int:
+        """Number of active flows destined to ``dst`` (ISD's global view)."""
+        return self.incast_degree.get(dst, 0)

@@ -1,0 +1,183 @@
+"""Metrics collection for simulation runs.
+
+Collects everything the paper's evaluation reports:
+
+* per-flow completion times (via :class:`~repro.sim.flows.FlowTable`),
+* per-node total buffer occupancy samples (Fig. 10/11 top rows report the
+  99.99th percentile),
+* per-queue length high-water marks and samples (Figs. 15/16),
+* delivered-cell throughput over time (Figs. 8/12),
+* hardware resource proxies: maximum active buckets and PIEO occupancy
+  (Figs. 7/13).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["MetricsCollector", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) of ``values`` (0.0 when empty).
+
+    Uses the 'lower' interpolation so tail percentiles never exceed the
+    maximum observed value, matching how tail statistics are usually
+    reported for queue lengths.
+    """
+    if len(values) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+class MetricsCollector:
+    """Accumulates run statistics with bounded memory.
+
+    Queue length *samples* are collected at a fixed timeslot interval; the
+    maxima are tracked exactly (updated on every enqueue).
+    """
+
+    def __init__(self, n: int, sample_interval: int = 50, warmup: int = 0):
+        self.n = n
+        self.sample_interval = max(1, sample_interval)
+        self.warmup = warmup
+        # exact counters
+        self.cells_delivered = 0
+        self.payload_cells_delivered = 0
+        self.cells_sent = 0
+        self.dummy_cells_sent = 0
+        self.cells_dropped = 0
+        self.cells_trimmed = 0
+        self.retransmissions = 0
+        self.tokens_sent = 0
+        self.control_messages = 0
+        # per-node buffer occupancy samples (all queues at the node summed)
+        self.buffer_samples: List[int] = []
+        # per-queue length samples
+        self.queue_samples: List[int] = []
+        # exact maxima
+        self.max_queue_length = 0
+        self.max_buffer_occupancy = 0
+        self.max_active_buckets = 0
+        self.max_pieo_length = 0
+        # cell latency histogram support
+        self.cell_latencies: List[int] = []
+        self._cell_latency_cap = 2_000_000
+        # throughput time series: delivered payload cells per sample window
+        self.throughput_series: List[int] = []
+        self._window_delivered = 0
+        # per-destination delivered counts (failure experiment)
+        self.delivered_per_node: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # event hooks (hot path — keep them light)
+
+    def on_cell_sent(self, dummy: bool) -> None:
+        self.cells_sent += 1
+        if dummy:
+            self.dummy_cells_sent += 1
+
+    def on_cell_delivered(self, dst: int, latency: int) -> None:
+        self.cells_delivered += 1
+        self.payload_cells_delivered += 1
+        self._window_delivered += 1
+        self.delivered_per_node[dst] = self.delivered_per_node.get(dst, 0) + 1
+        if len(self.cell_latencies) < self._cell_latency_cap:
+            self.cell_latencies.append(latency)
+
+    def on_queue_length(self, length: int) -> None:
+        if length > self.max_queue_length:
+            self.max_queue_length = length
+
+    def on_drop(self, count: int = 1) -> None:
+        self.cells_dropped += count
+
+    def on_trim(self) -> None:
+        self.cells_trimmed += 1
+
+    def on_retransmission(self) -> None:
+        self.retransmissions += 1
+
+    def on_token_sent(self, count: int = 1) -> None:
+        self.tokens_sent += count
+
+    # ------------------------------------------------------------------ #
+    # periodic sampling
+
+    def should_sample(self, t: int) -> bool:
+        """Whether timeslot ``t`` is a sampling instant (post warm-up)."""
+        return t >= self.warmup and t % self.sample_interval == 0
+
+    def sample_node(
+        self,
+        buffer_occupancy: int,
+        queue_lengths: Optional[Sequence[int]] = None,
+        active_buckets: int = 0,
+        pieo_length: int = 0,
+    ) -> None:
+        """Record one node's state at a sampling instant."""
+        self.buffer_samples.append(buffer_occupancy)
+        if buffer_occupancy > self.max_buffer_occupancy:
+            self.max_buffer_occupancy = buffer_occupancy
+        if queue_lengths:
+            self.queue_samples.extend(queue_lengths)
+        if active_buckets > self.max_active_buckets:
+            self.max_active_buckets = active_buckets
+        if pieo_length > self.max_pieo_length:
+            self.max_pieo_length = pieo_length
+
+    def end_sample_window(self) -> None:
+        """Close a throughput accounting window."""
+        self.throughput_series.append(self._window_delivered)
+        self._window_delivered = 0
+
+    # ------------------------------------------------------------------ #
+    # summary statistics
+
+    def buffer_occupancy_percentile(self, q: float = 99.99) -> float:
+        """Tail total-buffer occupancy across (node, sample) pairs."""
+        return percentile(self.buffer_samples, q)
+
+    def queue_length_percentile(self, q: float = 99.0) -> float:
+        """Tail per-queue length across (queue, sample) pairs."""
+        return percentile(self.queue_samples, q)
+
+    def cell_latency_percentile(self, q: float = 99.9) -> float:
+        """Tail single-cell latency in timeslots."""
+        return percentile(self.cell_latencies, q)
+
+    def mean_throughput_cells_per_slot(self, duration: int, n: int) -> float:
+        """Average delivered payload cells per node per timeslot.
+
+        This is *destination throughput* as a fraction of line rate (each
+        node can receive at most one cell per slot).
+        """
+        if duration <= 0 or n <= 0:
+            return 0.0
+        return self.payload_cells_delivered / (duration * n)
+
+    def goodput_fraction(self) -> float:
+        """Delivered payload cells / total (non-dummy) cells sent."""
+        real = self.cells_sent - self.dummy_cells_sent
+        if real <= 0:
+            return 0.0
+        return self.payload_cells_delivered / real
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dictionary of headline statistics."""
+        return {
+            "cells_sent": float(self.cells_sent),
+            "cells_delivered": float(self.cells_delivered),
+            "dummy_cells": float(self.dummy_cells_sent),
+            "drops": float(self.cells_dropped),
+            "trims": float(self.cells_trimmed),
+            "retransmissions": float(self.retransmissions),
+            "max_queue_length": float(self.max_queue_length),
+            "queue_p99": self.queue_length_percentile(99.0),
+            "buffer_p9999": self.buffer_occupancy_percentile(99.99),
+            "max_buffer": float(self.max_buffer_occupancy),
+            "max_active_buckets": float(self.max_active_buckets),
+            "max_pieo_length": float(self.max_pieo_length),
+        }

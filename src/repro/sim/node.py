@@ -1,0 +1,669 @@
+"""End-host model for the packet-level simulator.
+
+Each :class:`Node` mirrors the structure of the paper's FPGA end-host
+(Section 4.1): per-link send queues (PIEO under hop-by-hop), a token ledger
+and per-neighbour token-return queues, local flow queues, and the RX/TX
+processing paths.  The same node implementation hosts every congestion
+control mechanism of Section 5.3 — ``none``, ``priority``, ``ISD``, ``RD``,
+``NDP``, ``spray-short``, ``hop-by-hop`` and ``HBH+spray`` — selected by
+:class:`~repro.sim.config.SimConfig` flags, so that mechanisms differ only in
+the ways the paper says they differ.
+
+Hot-path discipline: this module is executed once per node per timeslot, so
+it avoids allocation where possible and keeps attribute access local.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from ..core.buckets import ActiveBucketTracker, TokenLedger
+from ..core.cell import Cell
+from ..core.header import TOKEN_REGULAR, Token
+from .config import SimConfig
+from .flows import Flow
+from .pieo import PieoQueue
+
+__all__ = ["Node", "Transmission", "ControlMessage"]
+
+# control message kinds (receiver-driven protocols)
+CTRL_PULL = "pull"
+CTRL_TRIM = "trim"
+CTRL_RTX = "rtx"
+
+
+class ControlMessage:
+    """A small end-to-end control message (PULL / trim notice / RTX request).
+
+    Control messages ride in reserved header space (paper Section 5.3
+    baseline 4) but are routed end-to-end through the same VLB paths as data
+    cells, so they experience the network's queuing.
+    """
+
+    __slots__ = ("kind", "flow_id", "src", "dst", "seq", "sprays_remaining")
+
+    def __init__(self, kind: str, flow_id: int, src: int, dst: int, seq: int = 0):
+        self.kind = kind
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.sprays_remaining = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Ctrl({self.kind}, flow={self.flow_id}, {self.src}->{self.dst})"
+
+
+class Transmission:
+    """Everything sent over one link in one timeslot: a cell plus header
+    sidecars (tokens and control messages)."""
+
+    __slots__ = ("sender", "receiver", "cell", "tokens", "ctrl")
+
+    def __init__(
+        self,
+        sender: int,
+        receiver: int,
+        cell: Optional[Cell],
+        tokens: Tuple[Token, ...] = (),
+        ctrl: Tuple[ControlMessage, ...] = (),
+    ):
+        self.sender = sender
+        self.receiver = receiver
+        self.cell = cell
+        self.tokens = tokens
+        self.ctrl = ctrl
+
+
+class Node:
+    """One end host participating in the Shale schedule."""
+
+    __slots__ = (
+        "node_id",
+        "engine",
+        "coords",
+        "h",
+        "r",
+        "config",
+        "rng",
+        "mode",
+        "uses_hbh",
+        "uses_spray_short",
+        "is_ndp",
+        "is_rd_family",
+        "neighbors",
+        "link_queues",
+        "token_return",
+        "ledger",
+        "bucket_tracker",
+        "local_flows",
+        "rtx_queue",
+        "ctrl_out",
+        "total_enqueued",
+        "pending_tokens",
+        "pending_ctrl",
+        "failed",
+        "failed_neighbors",
+        "known_failed",
+        "epoch_length",
+        "_recv_counts",
+    )
+
+    def __init__(self, node_id: int, engine) -> None:
+        self.node_id = node_id
+        self.engine = engine
+        self.coords = engine.coords
+        self.h = engine.coords.h
+        self.r = engine.coords.r
+        config: SimConfig = engine.config
+        self.config = config
+        self.rng: random.Random = engine.rng
+        self.mode = config.congestion_control
+        self.uses_hbh = config.uses_hop_by_hop
+        self.uses_spray_short = config.uses_spray_short
+        self.is_ndp = self.mode == "ndp"
+        self.is_rd_family = self.mode in ("rd", "ndp")
+        self.epoch_length = engine.schedule.epoch_length
+
+        # neighbors[p][k-1] = phase-p neighbour at round-robin offset k
+        self.neighbors: List[List[int]] = [
+            [self.coords.neighbor_at_offset(node_id, p, k) for k in range(1, self.r)]
+            for p in range(self.h)
+        ]
+        links = self.h * (self.r - 1)
+        cap = config.ndp_queue_limit if self.is_ndp else None
+        self.link_queues: List[PieoQueue] = [PieoQueue() for _ in range(links)]
+        # NDP's cap is enforced by trimming at enqueue, not by push overflow,
+        # so the queues themselves stay uncapped.
+        del cap
+        self.token_return: Dict[int, Deque[Token]] = {}
+        if self.uses_hbh:
+            self.ledger = TokenLedger(
+                budget=config.token_budget,
+                first_hop_budget=config.first_hop_token_budget,
+            )
+            self.bucket_tracker = ActiveBucketTracker()
+        else:
+            self.ledger = None
+            self.bucket_tracker = None
+        self.local_flows: List[Flow] = []
+        self.rtx_queue: Deque[Tuple[int, int, int]] = deque()  # (flow_id, dst, seq)
+        self.ctrl_out: List[Deque[ControlMessage]] = [deque() for _ in range(links)]
+        self.total_enqueued = 0
+        self.pending_tokens = 0
+        self.pending_ctrl = 0
+        self.failed = False
+        self.failed_neighbors: Set[int] = set()
+        self.known_failed: Set[int] = set()
+        # per-flow delivered counts for PULL pacing at the receiver
+        self._recv_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # link helpers
+
+    def link_index(self, phase: int, offset: int) -> int:
+        """Flat index of the link used in ``phase`` at round-robin ``offset``."""
+        return phase * (self.r - 1) + (offset - 1)
+
+    def queue_length(self, phase: int, offset: int) -> int:
+        """Current occupancy of one send queue."""
+        return len(self.link_queues[self.link_index(phase, offset)])
+
+    @property
+    def idle(self) -> bool:
+        """Fast check: nothing to transmit this slot under any policy."""
+        return (
+            self.total_enqueued == 0
+            and not self.local_flows
+            and self.pending_tokens == 0
+            and self.pending_ctrl == 0
+            and not self.rtx_queue
+        )
+
+    # ------------------------------------------------------------------ #
+    # flow management
+
+    def add_flow(self, flow: Flow) -> None:
+        """Register a locally originated flow."""
+        self.local_flows.append(flow)
+
+    def _prune_local_flows(self) -> None:
+        if any(f.done_sending for f in self.local_flows):
+            self.local_flows = [f for f in self.local_flows if not f.done_sending]
+
+    # ------------------------------------------------------------------ #
+    # TX path
+
+    def transmit(self, t: int, phase: int, offset: int) -> Optional[Transmission]:
+        """Run the TX pipeline for timeslot ``t``; returns what goes on the wire.
+
+        Returns ``None`` when the node has neither data, tokens nor control
+        messages for the current neighbour (a real network would send an
+        empty dummy cell; the simulator elides it).
+        """
+        neighbor = self.neighbors[phase][offset - 1]
+        if neighbor in self.failed_neighbors:
+            return None
+
+        link = self.link_index(phase, offset)
+        cell = self._select_forwarded_cell(link, neighbor)
+        if cell is None:
+            cell = self._admit_local_cell(t, phase, neighbor)
+
+        tokens = self._pop_tokens(neighbor)
+        ctrl = self._pop_ctrl(link)
+        if cell is None and not tokens and not ctrl:
+            return None
+        if cell is None:
+            cell = Cell.make_dummy(self.node_id, neighbor)
+        return Transmission(self.node_id, neighbor, cell, tokens, ctrl)
+
+    def _select_forwarded_cell(self, link: int, neighbor: int) -> Optional[Cell]:
+        """Dequeue the first eligible forwarded cell for this link, if any."""
+        queue = self.link_queues[link]
+        if not queue:
+            return None
+        if self.uses_hbh and not self.config.use_fifo_for_hbh:
+            cell = queue.extract_first_eligible(
+                lambda c: self._hbh_eligible(c, neighbor)
+            )
+            if cell is None:
+                return None
+        elif self.uses_hbh:
+            # FIFO ablation: only the head may be sent; if it lacks credit the
+            # whole queue head-of-line blocks (paper Section 3.3.2, change 2).
+            head = queue.peek_head()
+            if head is None or not self._hbh_eligible(head, neighbor):
+                return None
+            cell = queue.extract_head()
+        else:
+            cell = queue.extract_head()
+            if cell is None:
+                return None
+        self.total_enqueued -= 1
+        self._finish_forward(cell, neighbor)
+        return cell
+
+    def _hbh_eligible(self, cell: Cell, neighbor: int) -> bool:
+        """Hop-by-hop eligibility: final hops are free, others need credit."""
+        if neighbor == cell.dst:
+            return True
+        n = cell.sprays_remaining
+        next_bucket = (cell.dst, n - 1) if n > 0 else (cell.dst, 0)
+        return self.ledger.can_send(neighbor, next_bucket)
+
+    def _finish_forward(self, cell: Cell, neighbor: int) -> None:
+        """Charge tokens, return a token upstream, update the cell header."""
+        n = cell.sprays_remaining
+        if self.uses_hbh:
+            if neighbor != cell.dst:
+                next_bucket = (cell.dst, n - 1) if n > 0 else (cell.dst, 0)
+                self.ledger.charge(neighbor, next_bucket)
+            # Token back to the hop we received this cell from, naming the
+            # bucket the cell occupied here (paper Fig. 5).
+            prev = cell.prev_hop
+            if prev >= 0:
+                self._queue_token(prev, Token(cell.dst, n, TOKEN_REGULAR))
+            self.bucket_tracker.release((cell.dst, n))
+        if n > 0:
+            cell.sprays_remaining = n - 1
+        cell.prev_hop = self.node_id
+        cell.hops += 1
+
+    def _admit_local_cell(self, t: int, phase: int, neighbor: int) -> Optional[Cell]:
+        """Generate a cell from a local flow (or the NDP retransmit queue)."""
+        # Retransmissions first: NDP receivers have explicitly requested them.
+        if self.rtx_queue:
+            cell = self._admit_retransmission(t, phase, neighbor)
+            if cell is not None:
+                return cell
+        if not self.local_flows:
+            return None
+        flow = self._pick_flow(t, neighbor)
+        if flow is None:
+            return None
+        return self._emit_flow_cell(flow, t, phase, neighbor)
+
+    def _admit_retransmission(self, t: int, phase: int, neighbor: int) -> Optional[Cell]:
+        flow_id, dst, seq = self.rtx_queue[0]
+        if neighbor == dst and self.h == 1:
+            # fine: spray hop straight to the destination still delivers
+            pass
+        self.rtx_queue.popleft()
+        flow = self.engine.flows.get(flow_id)
+        size = flow.size_cells if flow is not None else 1
+        cell = Cell(
+            self.node_id, dst, flow_id=flow_id, seq=seq,
+            sprays_remaining=self.h - 1, created_at=t, flow_size=size,
+        )
+        cell.prev_hop = self.node_id
+        cell.hops = 1
+        cell.spray_phase = (phase + 1) % self.h
+        self.engine.metrics.on_retransmission()
+        return cell
+
+    def _pick_flow(self, t: int, neighbor: int) -> Optional[Flow]:
+        """Choose which local flow (if any) may emit a cell this slot."""
+        candidates = self.local_flows
+        mode = self.mode
+        chosen: Optional[Flow] = None
+        if mode == "priority":
+            best_rank = None
+            for flow in candidates:
+                if flow.done_sending:
+                    continue
+                rank = flow.arrival + flow.size_cells * self.epoch_length
+                if best_rank is None or rank < best_rank:
+                    best_rank, chosen = rank, flow
+        else:
+            for flow in candidates:
+                if flow.done_sending:
+                    continue
+                if not self._transport_eligible(flow, t, neighbor):
+                    continue
+                chosen = flow
+                break
+        if chosen is not None and self.uses_hbh:
+            bucket = (chosen.dst, self.h - 1)
+            if not self.ledger.can_send(neighbor, bucket, first_hop=True):
+                # look for any other transport-eligible flow with credit
+                chosen = None
+                for flow in candidates:
+                    if flow.done_sending:
+                        continue
+                    if not self._transport_eligible(flow, t, neighbor):
+                        continue
+                    if self.ledger.can_send(
+                        neighbor, (flow.dst, self.h - 1), first_hop=True
+                    ):
+                        chosen = flow
+                        break
+        if chosen is not None and chosen.done_sending:
+            return None
+        return chosen
+
+    def _transport_eligible(self, flow: Flow, t: int, neighbor: int) -> bool:
+        """End-to-end admission policy (ISD rate limit / RD-NDP pulls)."""
+        mode = self.mode
+        if mode == "isd":
+            return self.engine.isd_credit(flow, t)
+        if self.is_rd_family:
+            granted = self.config.initial_window + flow.credit
+            return flow.sent < granted
+        return True
+
+    def _emit_flow_cell(self, flow: Flow, t: int, phase: int, neighbor: int) -> Cell:
+        cell = Cell(
+            self.node_id,
+            flow.dst,
+            flow_id=flow.flow_id,
+            seq=flow.sent,
+            sprays_remaining=self.h - 1,
+            created_at=t,
+            flow_size=flow.size_cells,
+        )
+        cell.prev_hop = self.node_id
+        cell.hops = 1
+        cell.spray_phase = (phase + 1) % self.h
+        if self.uses_hbh:
+            self.ledger.charge(neighbor, (flow.dst, self.h - 1), first_hop=True)
+        if self.mode == "isd":
+            flow.credit -= 1.0
+        flow.sent += 1
+        if flow.done_sending:
+            self._prune_local_flows()
+        return cell
+
+    # ------------------------------------------------------------------ #
+    # token plumbing
+
+    def _queue_token(self, neighbor: int, token: Token) -> None:
+        queue = self.token_return.get(neighbor)
+        if queue is None:
+            queue = deque()
+            self.token_return[neighbor] = queue
+        queue.append(token)
+        self.pending_tokens += 1
+
+    def _pop_tokens(self, neighbor: int) -> Tuple[Token, ...]:
+        queue = self.token_return.get(neighbor)
+        if not queue:
+            return ()
+        limit = self.config.tokens_per_header
+        out = []
+        while queue and len(out) < limit:
+            out.append(queue.popleft())
+        self.pending_tokens -= len(out)
+        return tuple(out)
+
+    def _pop_ctrl(self, link: int) -> Tuple[ControlMessage, ...]:
+        queue = self.ctrl_out[link]
+        if not queue:
+            return ()
+        out = []
+        while queue and len(out) < 2:
+            out.append(queue.popleft())
+        self.pending_ctrl -= len(out)
+        return tuple(out)
+
+    # ------------------------------------------------------------------ #
+    # RX path
+
+    def receive(self, tx: Transmission, t: int, phase: int) -> None:
+        """Run the RX pipeline for a transmission arriving this slot."""
+        sender = tx.sender
+        if self.uses_hbh:
+            for token in tx.tokens:
+                if token.kind == TOKEN_REGULAR:
+                    self.ledger.credit(sender, token.bucket())
+                    self.bucket_tracker.release(token.bucket())
+                else:
+                    self.engine.failures_on_token(self, sender, token, phase)
+        for msg in tx.ctrl:
+            self._handle_ctrl(msg, t, phase)
+        cell = tx.cell
+        if cell is None or cell.dummy:
+            return
+        if cell.dst == self.node_id:
+            self._deliver(cell, t)
+            return
+        self.enqueue_forward(cell, t, phase)
+
+    def _deliver(self, cell: Cell, t: int) -> None:
+        """Final-hop delivery: reorder queue + flow accounting + pulls."""
+        engine = self.engine
+        engine.metrics.on_cell_delivered(self.node_id, t - cell.created_at)
+        if engine.tracer is not None:
+            engine.tracer.on_deliver(cell, t)
+        if engine.delivery_hook is not None:
+            engine.delivery_hook(cell, t)
+        record = engine.flows.record_delivery(cell.flow_id, t)
+        if self.is_rd_family and record is None:
+            # flow still running: maybe request more cells from the sender
+            count = self._recv_counts.get(cell.flow_id, 0) + 1
+            self._recv_counts[cell.flow_id] = count
+            if count % self.config.pull_batch == 0:
+                self._send_ctrl(
+                    ControlMessage(CTRL_PULL, cell.flow_id, self.node_id, cell.src),
+                    t,
+                )
+        elif record is not None:
+            self._recv_counts.pop(cell.flow_id, None)
+
+    def enqueue_forward(self, cell: Cell, t: int, arrival_phase: int) -> None:
+        """Assign the cell's next hop and enqueue it (the RX enqueue step).
+
+        The next hop's phase follows the *previous hop's wire phase* (the
+        ``spray_phase`` hint carried on the cell), not the arrival slot's
+        phase: with a long propagation delay the arrival slot may already
+        belong to the next phase, and using it would skip a coordinate in
+        the spraying semi-path, breaking the EBS path structure.
+        """
+        hint = cell.spray_phase if cell.spray_phase >= 0 \
+            else (arrival_phase + 1) % self.h
+        n = cell.sprays_remaining
+        if n > 0:
+            next_phase = hint
+            offset = self._choose_spray_offset(cell, next_phase)
+            if offset is None:
+                self.release_upstream(cell)
+                self.engine.metrics.on_drop()
+                return
+        else:
+            hop = self._choose_direct_hop(cell, hint)
+            if hop is None:
+                return  # dropped inside
+            next_phase, offset = hop
+            n = cell.sprays_remaining  # may have been reset by a reroute
+        cell.spray_phase = (next_phase + 1) % self.h
+        link = self.link_index(next_phase, offset)
+        queue = self.link_queues[link]
+        if self.is_ndp and len(queue) >= self.config.ndp_queue_limit:
+            self._trim(cell, t)
+            return
+        rank = 0
+        if self.mode == "priority":
+            rank = cell.created_at + cell.flow_size * self.epoch_length
+        cell.enqueued_at = t
+        queue.push(cell, rank)
+        self.total_enqueued += 1
+        if self.uses_hbh:
+            self.bucket_tracker.acquire((cell.dst, n))
+        self.engine.metrics.on_queue_length(len(queue))
+
+    def _choose_spray_offset(self, cell: Cell, phase: int) -> Optional[int]:
+        """Pick the spraying next hop: random, or shortest-queue (spray-short)."""
+        neighbors = self.neighbors[phase]
+        avoid = self.failed_neighbors or self.known_failed
+        base = self.link_index(phase, 1)
+        if self.uses_spray_short:
+            best_offsets: List[int] = []
+            best_len = None
+            for i, nb in enumerate(neighbors):
+                if nb in self.failed_neighbors or nb in self.known_failed:
+                    continue
+                length = len(self.link_queues[base + i])
+                if best_len is None or length < best_len:
+                    best_len = length
+                    best_offsets = [i + 1]
+                elif length == best_len:
+                    best_offsets.append(i + 1)
+            if not best_offsets:
+                return None
+            if len(best_offsets) == 1:
+                return best_offsets[0]
+            return best_offsets[self.rng.randrange(len(best_offsets))]
+        if not avoid:
+            return self.rng.randrange(1, self.r)
+        options = [
+            i + 1
+            for i, nb in enumerate(neighbors)
+            if nb not in self.failed_neighbors and nb not in self.known_failed
+        ]
+        if not options:
+            return None
+        return options[self.rng.randrange(len(options))]
+
+    def _choose_direct_hop(self, cell: Cell, start_phase: int) -> Optional[Tuple[int, int]]:
+        """Pick the next direct hop phase/offset, handling failed routes.
+
+        Scans phases cyclically starting at ``start_phase`` (the phase after
+        the previous hop's wire phase).  Returns ``None`` when the cell was
+        dropped instead.
+        """
+        coords = self.coords
+        dst = cell.dst
+        for i in range(self.h):
+            p = (start_phase + i) % self.h
+            mine = coords.coordinate(self.node_id, p)
+            want = coords.coordinate(dst, p)
+            if mine == want:
+                continue
+            target = coords.with_coordinate(self.node_id, p, want)
+            if target in self.failed_neighbors or target in self.known_failed:
+                return self._reroute_around_failure(cell, target, p)
+            return p, (want - mine) % self.r
+        # all coordinates already match: this IS the destination — but then
+        # receive() would have delivered it.  Treat as corrupt state.
+        raise AssertionError(
+            f"direct-hop cell for {dst} already at destination {self.node_id}"
+        )
+
+    def release_upstream(self, cell: Cell) -> None:
+        """Return the upstream hop's token when a cell leaves its bucket
+        abnormally (reroute or drop).
+
+        Without this, the upstream's per-(neighbour, bucket) credit would
+        leak on every failure reroute and, with T=1, permanently block the
+        bucket.  After the release the cell no longer owes a token.
+        """
+        prev = cell.prev_hop
+        if (
+            self.uses_hbh
+            and prev >= 0
+            and prev != self.node_id
+            and prev not in self.failed_neighbors
+            and prev not in self.known_failed
+        ):
+            self._queue_token(
+                prev, Token(cell.dst, cell.sprays_remaining, TOKEN_REGULAR)
+            )
+        cell.prev_hop = -1
+
+    def _reroute_around_failure(
+        self, cell: Cell, failed_target: int, phase: int
+    ) -> Optional[Tuple[int, int]]:
+        """Appendix A: direct hops through failures reset to fresh sprays."""
+        self.release_upstream(cell)
+        if self.engine.tracer is not None:
+            self.engine.tracer.on_reroute(cell)
+        if failed_target == cell.dst:
+            self.engine.metrics.on_drop()
+            return None
+        # Reset to the first spraying hop: the cell will take h spray hops
+        # from here (its bucket index at this node becomes h transiently).
+        cell.sprays_remaining = self.h
+        next_phase = (phase + 1) % self.h if self.h > 1 else phase
+        offset = self._choose_spray_offset(cell, next_phase)
+        if offset is None:
+            self.engine.metrics.on_drop()
+            return None
+        return next_phase, offset
+
+    # ------------------------------------------------------------------ #
+    # control-message handling (RD / NDP)
+
+    def _send_ctrl(self, msg: ControlMessage, t: int) -> None:
+        """Originate a control message: enqueue it for a spraying first hop."""
+        msg.sprays_remaining = self.h - 1
+        phase = self.rng.randrange(self.h)
+        offset = self.rng.randrange(1, self.r)
+        link = self.link_index(phase, offset)
+        self.ctrl_out[link].append(msg)
+        self.pending_ctrl += 1
+        self.engine.metrics.control_messages += 1
+
+    def _handle_ctrl(self, msg: ControlMessage, t: int, arrival_phase: int) -> None:
+        """Route or consume one control message on arrival."""
+        if msg.dst == self.node_id:
+            self._consume_ctrl(msg, t)
+            return
+        n = msg.sprays_remaining
+        if n > 0:
+            msg.sprays_remaining = n - 1
+            phase = (arrival_phase + 1) % self.h
+            offset = self.rng.randrange(1, self.r)
+        else:
+            coords = self.coords
+            phase = offset = None
+            for i in range(1, self.h + 1):
+                p = (arrival_phase + i) % self.h
+                mine = coords.coordinate(self.node_id, p)
+                want = coords.coordinate(msg.dst, p)
+                if mine != want:
+                    phase, offset = p, (want - mine) % self.r
+                    break
+            if phase is None:
+                # already at destination coordinates — consume defensively
+                self._consume_ctrl(msg, t)
+                return
+        link = self.link_index(phase, offset)
+        self.ctrl_out[link].append(msg)
+        self.pending_ctrl += 1
+
+    def _consume_ctrl(self, msg: ControlMessage, t: int) -> None:
+        if msg.kind == CTRL_PULL:
+            flow = self.engine.flows.get(msg.flow_id)
+            if flow is not None and flow.src == self.node_id:
+                flow.credit += self.config.pull_batch
+        elif msg.kind == CTRL_TRIM:
+            # receiver learns of a trimmed cell; ask the sender to resend
+            self._send_ctrl(
+                ControlMessage(CTRL_RTX, msg.flow_id, self.node_id, msg.src, msg.seq),
+                t,
+            )
+        elif msg.kind == CTRL_RTX:
+            self.rtx_queue.append((msg.flow_id, msg.src, msg.seq))
+
+    def _trim(self, cell: Cell, t: int) -> None:
+        """NDP trimming: drop the payload, forward the header as control."""
+        self.engine.metrics.on_trim()
+        notice = ControlMessage(CTRL_TRIM, cell.flow_id, cell.src, cell.dst, cell.seq)
+        self._send_ctrl(notice, t)
+
+    # ------------------------------------------------------------------ #
+    # metrics
+
+    def buffer_occupancy(self) -> int:
+        """Total data cells enqueued at this node (all send queues)."""
+        return self.total_enqueued
+
+    def max_pieo_occupancy(self) -> int:
+        """Largest peak occupancy among this node's PIEO queues."""
+        return max((q.peak_occupancy for q in self.link_queues), default=0)
+
+    def active_bucket_count(self) -> int:
+        """Currently active buckets (0 when hop-by-hop is off)."""
+        return self.bucket_tracker.active if self.bucket_tracker else 0

@@ -1,0 +1,72 @@
+"""Multiprocess parameter sweeps for experiment grids.
+
+The figure experiments are embarrassingly parallel across their grid cells
+(mechanism x tuning x size): each cell is an independent simulation.  This
+module maps a pure function over a list of keyword-argument dictionaries
+using a process pool, with a sequential fallback for ``workers <= 1`` (and
+for environments where forking is unavailable).
+
+Only module-level functions can cross process boundaries, so experiments
+pass a top-level worker like::
+
+    def _cell(mechanism, h, n, duration):
+        engine = run_cc_experiment(...)
+        return extract_plain_results(engine)   # picklable data only
+
+    results = sweep(_cell, grid, workers=4)
+
+Results are returned in grid order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = ["sweep", "default_workers"]
+
+
+def default_workers(cap: int = 8) -> int:
+    """A sensible worker count: physical parallelism, capped."""
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cores = os.cpu_count() or 1
+    return max(1, min(cap, cores - 1))
+
+
+def _invoke(payload):
+    fn, kwargs = payload
+    return fn(**kwargs)
+
+
+def sweep(
+    fn: Callable[..., Any],
+    grid: Sequence[Dict[str, Any]],
+    workers: Optional[int] = None,
+) -> List[Any]:
+    """Evaluate ``fn(**cell)`` for every cell of ``grid``.
+
+    Args:
+        fn: a picklable (module-level) function.
+        grid: keyword-argument dictionaries, one per cell.
+        workers: process count; ``None`` or ``<= 1`` runs sequentially.
+
+    Returns:
+        Results in the same order as ``grid``.
+    """
+    cells = list(grid)
+    if workers is None:
+        workers = 1
+    if workers <= 1 or len(cells) <= 1:
+        return [fn(**cell) for cell in cells]
+    payloads = [(fn, cell) for cell in cells]
+    # fork keeps imports cheap; fall back to sequential when a start method
+    # is unavailable (e.g. restricted sandboxes).
+    try:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=min(workers, len(cells))) as pool:
+            return pool.map(_invoke, payloads)
+    except (OSError, ValueError):
+        return [fn(**cell) for cell in cells]

@@ -1,0 +1,135 @@
+"""PIEO (Push-In-Extract-Out) queues.
+
+A PIEO queue (Shrivastav, SIGCOMM 2019) maintains an ordered list of
+elements and supports extracting the *first eligible* element, where
+eligibility is an arbitrary predicate evaluated at dequeue time.  Shale's
+hop-by-hop congestion control stores per-link queues of bucket ids in PIEO
+queues so that a cell whose bucket is awaiting tokens does not head-of-line
+block cells in other buckets (paper Section 3.3.2, second change).
+
+The software implementation here preserves PIEO's semantics — strict
+insertion order among equal-rank elements, first-eligible extraction — and
+additionally tracks its occupancy high-water mark, which the hardware
+resource model consumes (paper Fig. 13 reports max PIEO queue length).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, List, Optional, Tuple, TypeVar
+
+__all__ = ["PieoQueue"]
+
+T = TypeVar("T")
+
+
+class PieoQueue(Generic[T]):
+    """An ordered queue supporting first-eligible extraction.
+
+    Elements are ranked by ``(rank, arrival sequence)`` so ties preserve
+    insertion order — exactly the behaviour of the hardware priority encoder.
+    With the default rank of 0 for every element the queue behaves as a FIFO
+    with eligibility filtering.
+
+    Args:
+        capacity: optional maximum occupancy; ``push`` raises
+            ``OverflowError`` beyond it (models the fixed-size on-chip PIEO
+            storage of the FPGA prototype).
+    """
+
+    __slots__ = ("_items", "_seq", "capacity", "peak_occupancy")
+
+    def __init__(self, capacity: Optional[int] = None):
+        # list of (rank, seq, element), kept sorted by (rank, seq)
+        self._items: List[Tuple[int, int, T]] = []
+        self._seq = 0
+        self.capacity = capacity
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterable[T]:
+        return (element for _, _, element in self._items)
+
+    def push(self, element: T, rank: int = 0) -> None:
+        """Insert ``element`` at its rank position (stable among equals)."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            raise OverflowError(
+                f"PIEO queue full (capacity {self.capacity})"
+            )
+        entry = (rank, self._seq, element)
+        self._seq += 1
+        # Binary search for the insertion point keeps push O(log n) compare +
+        # O(n) shift, matching the "push in" of the hardware (which does it
+        # in O(1) with a shift register).
+        items = self._items
+        lo, hi = 0, len(items)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if items[mid][:2] <= entry[:2]:
+                lo = mid + 1
+            else:
+                hi = mid
+        items.insert(lo, entry)
+        if len(items) > self.peak_occupancy:
+            self.peak_occupancy = len(items)
+
+    def extract_first_eligible(
+        self, eligible: Callable[[T], bool]
+    ) -> Optional[T]:
+        """Remove and return the first (lowest-rank, oldest) eligible element.
+
+        Returns ``None`` when no element is eligible.  The predicate is
+        evaluated in queue order, mirroring the hardware's parallel
+        eligibility test followed by a priority encoder.
+        """
+        items = self._items
+        for i, (_, _, element) in enumerate(items):
+            if eligible(element):
+                del items[i]
+                return element
+        return None
+
+    def first_eligible(self, eligible: Callable[[T], bool]) -> Optional[T]:
+        """Peek at the first eligible element without removing it."""
+        for _, _, element in self._items:
+            if eligible(element):
+                return element
+        return None
+
+    def extract_head(self) -> Optional[T]:
+        """Remove and return the head element unconditionally (FIFO pop)."""
+        if not self._items:
+            return None
+        return self._items.pop(0)[2]
+
+    def peek_head(self) -> Optional[T]:
+        """Return the head element without removing it."""
+        return self._items[0][2] if self._items else None
+
+    def remove(self, element: T) -> bool:
+        """Remove the first occurrence of ``element``; True if found."""
+        for i, (_, _, existing) in enumerate(self._items):
+            if existing == element:
+                del self._items[i]
+                return True
+        return False
+
+    def remove_if(self, predicate: Callable[[T], bool]) -> List[T]:
+        """Remove and return every element matching ``predicate``."""
+        kept: List[Tuple[int, int, T]] = []
+        removed: List[T] = []
+        for entry in self._items:
+            if predicate(entry[2]):
+                removed.append(entry[2])
+            else:
+                kept.append(entry)
+        self._items = kept
+        return removed
+
+    def clear(self) -> None:
+        """Drop every element."""
+        self._items.clear()

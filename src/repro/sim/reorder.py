@@ -1,0 +1,143 @@
+"""Receiver-side reorder buffers (paper Fig. 6, "reorder queues").
+
+Shale's VLB routing delivers a flow's cells over many interleaved paths, so
+they arrive out of order; the end host holds early arrivals in a per-flow
+reorder queue until the in-order prefix can be released to the application.
+The FPGA prototype dedicates DRAM to these queues, so their occupancy is a
+real resource: this model tracks, per flow and per node, how deep the
+reorder buffer gets and how long cells sit in it.
+
+The simulator's FCT accounting intentionally uses last-cell arrival (as the
+paper's does); attaching a :class:`ReorderTracker` adds the in-order
+delivery view on top without changing any engine behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["ReorderBuffer", "ReorderTracker"]
+
+
+class ReorderBuffer:
+    """In-order release tracking for one flow at its receiver."""
+
+    __slots__ = ("next_seq", "_held", "peak_held", "released",
+                 "_held_since", "max_hold_time")
+
+    def __init__(self) -> None:
+        #: next sequence number the application is waiting for
+        self.next_seq = 0
+        self._held: Set[int] = set()
+        self._held_since: Dict[int, int] = {}
+        self.peak_held = 0
+        self.released = 0
+        self.max_hold_time = 0
+
+    def accept(self, seq: int, t: int) -> List[int]:
+        """Accept cell ``seq`` at time ``t``; return newly releasable seqs.
+
+        Duplicate and already-released sequence numbers are ignored (NDP
+        retransmissions can produce duplicates).
+        """
+        if seq < self.next_seq or seq in self._held:
+            return []
+        if seq != self.next_seq:
+            self._held.add(seq)
+            self._held_since[seq] = t
+            if len(self._held) > self.peak_held:
+                self.peak_held = len(self._held)
+            return []
+        # in-order arrival: release it plus any contiguous held run
+        released = [seq]
+        self.next_seq = seq + 1
+        while self.next_seq in self._held:
+            self._held.remove(self.next_seq)
+            held_at = self._held_since.pop(self.next_seq)
+            hold = t - held_at
+            if hold > self.max_hold_time:
+                self.max_hold_time = hold
+            released.append(self.next_seq)
+            self.next_seq += 1
+        self.released += len(released)
+        return released
+
+    @property
+    def held(self) -> int:
+        """Cells currently parked out of order."""
+        return len(self._held)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ReorderBuffer(next={self.next_seq}, held={self.held}, "
+            f"peak={self.peak_held})"
+        )
+
+
+class ReorderTracker:
+    """Tracks reorder-buffer occupancy across all flows at all nodes.
+
+    Attach to an engine and feed it deliveries::
+
+        tracker = ReorderTracker.attach(engine)
+        engine.run()
+        print(tracker.peak_occupancy_per_node())
+
+    Attachment wraps the engine's delivery hook, so no engine code changes.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[int, ReorderBuffer] = {}
+        #: per-receiver total held cells, updated on every accept
+        self._node_held: Dict[int, int] = {}
+        self.peak_node_held: Dict[int, int] = {}
+        self._flow_dst: Dict[int, int] = {}
+
+    @classmethod
+    def attach(cls, engine) -> "ReorderTracker":
+        """Install on ``engine`` via its delivery hook."""
+        tracker = cls()
+        engine.delivery_hook = tracker.on_delivery
+        return tracker
+
+    def on_delivery(self, cell, t: int) -> None:
+        """Record one delivered cell."""
+        buffer = self._buffers.get(cell.flow_id)
+        if buffer is None:
+            buffer = ReorderBuffer()
+            self._buffers[cell.flow_id] = buffer
+            self._flow_dst[cell.flow_id] = cell.dst
+        before = buffer.held
+        buffer.accept(cell.seq, t)
+        delta = buffer.held - before
+        if delta:
+            dst = cell.dst
+            held = self._node_held.get(dst, 0) + delta
+            self._node_held[dst] = held
+            if held > self.peak_node_held.get(dst, 0):
+                self.peak_node_held[dst] = held
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    def buffer(self, flow_id: int) -> Optional[ReorderBuffer]:
+        """The reorder buffer of one flow (None if nothing delivered yet)."""
+        return self._buffers.get(flow_id)
+
+    def peak_flow_occupancy(self) -> int:
+        """Deepest any single flow's reorder buffer ever got."""
+        return max((b.peak_held for b in self._buffers.values()), default=0)
+
+    def peak_occupancy_per_node(self) -> Dict[int, int]:
+        """Peak total reorder cells held per receiving node."""
+        return dict(self.peak_node_held)
+
+    def max_hold_time(self) -> int:
+        """Longest any cell waited in a reorder buffer (timeslots)."""
+        return max(
+            (b.max_hold_time for b in self._buffers.values()), default=0
+        )
+
+    def total_released(self) -> int:
+        """Cells released in order across all flows."""
+        return sum(b.released for b in self._buffers.values())

@@ -1,0 +1,53 @@
+"""Synthetic workloads modelled after the paper's evaluation setup."""
+
+from .distributions import (
+    FLOW_SIZE_BUCKETS,
+    EmpiricalCdf,
+    FixedSizeDistribution,
+    FlowSizeDistribution,
+    HeavyTailedDistribution,
+    ShortFlowDistribution,
+    UniformSizeDistribution,
+    bucket_label,
+    bucket_of,
+    bytes_to_cells,
+)
+from .trace_io import (
+    read_workload,
+    workload_from_string,
+    workload_stats,
+    workload_to_string,
+    write_workload,
+)
+from .generators import (
+    all_to_all_workload,
+    incast_workload,
+    overlaid_permutations_workload,
+    permutation_workload,
+    poisson_workload,
+    single_flow_workload,
+)
+
+__all__ = [
+    "FLOW_SIZE_BUCKETS",
+    "EmpiricalCdf",
+    "FixedSizeDistribution",
+    "FlowSizeDistribution",
+    "HeavyTailedDistribution",
+    "ShortFlowDistribution",
+    "UniformSizeDistribution",
+    "all_to_all_workload",
+    "bucket_label",
+    "bucket_of",
+    "bytes_to_cells",
+    "incast_workload",
+    "overlaid_permutations_workload",
+    "permutation_workload",
+    "poisson_workload",
+    "single_flow_workload",
+    "read_workload",
+    "workload_from_string",
+    "workload_stats",
+    "workload_to_string",
+    "write_workload",
+]

@@ -1,0 +1,302 @@
+"""Flow-size distributions used by the paper's evaluation (Section 5).
+
+The paper drives its simulations with synthetic workloads whose flow sizes
+are "modeled after published datacenter traces":
+
+* the **short flow workload**, after the measurement study of production
+  datacenters by Benson et al. (IMC 2010) — flows up to 3 MB, dominated by
+  small transfers; it produces primarily path-collision congestion;
+* the **heavy-tailed workload**, after the VL2 data-mining trace (Greenberg
+  et al., SIGCOMM 2009) — flows up to 1 GB with most *bytes* in elephant
+  flows; it produces significant egress congestion.
+
+We model each as a piecewise log-linear empirical CDF over flow size in
+bytes, matching the published shapes (mass points and tail behaviour), and
+expose inverse-CDF sampling.  Exact trace percentiles are not public in
+machine-readable form; the CDFs below are digitised from the published
+figures and preserve the features the experiments depend on: the short-flow
+cap at 3 MB, the heavy tail reaching 1 GB, and the byte/flow-count split.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.cell import PAYLOAD_SIZE_BYTES
+
+__all__ = [
+    "FlowSizeDistribution",
+    "EmpiricalCdf",
+    "ShortFlowDistribution",
+    "HeavyTailedDistribution",
+    "UniformSizeDistribution",
+    "FixedSizeDistribution",
+    "bytes_to_cells",
+    "FLOW_SIZE_BUCKETS",
+    "bucket_label",
+    "bucket_of",
+]
+
+#: Flow-size bucket boundaries (bytes) used throughout the paper's FCT plots.
+FLOW_SIZE_BUCKETS: Tuple[int, ...] = (
+    4 * 1024,
+    16 * 1024,
+    64 * 1024,
+    256 * 1024,
+    1024 * 1024,
+    4 * 1024 * 1024,
+    16 * 1024 * 1024,
+    64 * 1024 * 1024,
+)
+
+_BUCKET_LABELS = (
+    "0-4kB",
+    "4-16kB",
+    "16-64kB",
+    "64-256kB",
+    "256kB-1MB",
+    "1-4MB",
+    "4-16MB",
+    "16-64MB",
+    "64MB+",
+)
+
+
+def bucket_of(size_bytes: int) -> int:
+    """Index of the flow-size bucket containing ``size_bytes``.
+
+    Bucket upper edges are inclusive: exactly 4 kB falls in "0-4kB".
+    """
+    return bisect.bisect_left(FLOW_SIZE_BUCKETS, size_bytes)
+
+
+def bucket_label(index: int) -> str:
+    """Human-readable label of flow-size bucket ``index``."""
+    return _BUCKET_LABELS[index]
+
+
+def bytes_to_cells(size_bytes: int) -> int:
+    """Cells needed to carry ``size_bytes`` of payload (at least one)."""
+    return max(1, -(-size_bytes // PAYLOAD_SIZE_BYTES))
+
+
+class FlowSizeDistribution:
+    """Interface for flow-size distributions (sizes in bytes)."""
+
+    #: short name used in reports
+    name = "base"
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one flow size in bytes."""
+        raise NotImplementedError
+
+    def mean_bytes(self) -> float:
+        """Expected flow size in bytes (used to convert load to arrival rate)."""
+        raise NotImplementedError
+
+    def mean_cells(self) -> float:
+        """Expected flow size in cells."""
+        return self.mean_bytes() / PAYLOAD_SIZE_BYTES
+
+    def max_bytes(self) -> int:
+        """Largest possible flow size."""
+        raise NotImplementedError
+
+
+class EmpiricalCdf(FlowSizeDistribution):
+    """Piecewise log-linear empirical CDF over flow sizes.
+
+    Args:
+        points: ``(size_bytes, cumulative_probability)`` pairs, strictly
+            increasing in both coordinates, ending at probability 1.0.
+        name: label for reports.
+
+    Sampling inverts the CDF with log-linear interpolation between knots,
+    which matches how flow-size CDFs are drawn (log-scaled size axis).
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]], name: str = "empirical"):
+        if len(points) < 2:
+            raise ValueError("need at least two CDF points")
+        prev_size, prev_p = 0.0, -1.0
+        for size, p in points:
+            if size <= prev_size or p <= prev_p:
+                raise ValueError("CDF points must be strictly increasing")
+            prev_size, prev_p = size, p
+        if abs(points[-1][1] - 1.0) > 1e-9:
+            raise ValueError("final CDF point must have probability 1.0")
+        self.points = [(float(s), float(p)) for s, p in points]
+        self.name = name
+        self._probs = [p for _, p in self.points]
+        self._mean = self._compute_mean()
+
+    def _compute_mean(self, samples_per_segment: int = 64) -> float:
+        """Mean via trapezoidal integration of the inverse CDF."""
+        total = 0.0
+        prev_p = 0.0
+        prev_size = self.points[0][0]
+        first_p = self.points[0][1]
+        # mass below the first knot: treat as the first knot's size
+        total += first_p * prev_size
+        for (s0, p0), (s1, p1) in zip(self.points, self.points[1:]):
+            # log-linear in size between knots
+            for i in range(samples_per_segment):
+                f0 = i / samples_per_segment
+                f1 = (i + 1) / samples_per_segment
+                size0 = math.exp(
+                    math.log(s0) + f0 * (math.log(s1) - math.log(s0))
+                )
+                size1 = math.exp(
+                    math.log(s0) + f1 * (math.log(s1) - math.log(s0))
+                )
+                total += (p1 - p0) / samples_per_segment * (size0 + size1) / 2
+        return total
+
+    def quantile(self, u: float) -> int:
+        """Inverse CDF at ``u`` in [0, 1)."""
+        if not 0.0 <= u < 1.0:
+            raise ValueError(f"u must be in [0, 1), got {u}")
+        idx = bisect.bisect_right(self._probs, u)
+        if idx == 0:
+            return max(1, int(self.points[0][0]))
+        if idx >= len(self.points):
+            return int(self.points[-1][0])
+        s0, p0 = self.points[idx - 1]
+        s1, p1 = self.points[idx]
+        frac = (u - p0) / (p1 - p0)
+        size = math.exp(math.log(s0) + frac * (math.log(s1) - math.log(s0)))
+        return max(1, int(size))
+
+    def sample(self, rng: random.Random) -> int:
+        return self.quantile(rng.random())
+
+    def mean_bytes(self) -> float:
+        return self._mean
+
+    def max_bytes(self) -> int:
+        return int(self.points[-1][0])
+
+
+def _scaled(points: Sequence[Tuple[float, float]],
+            scale: float) -> List[Tuple[float, float]]:
+    """Scale a CDF's size axis, preserving its shape.
+
+    Down-scaled simulations (shorter horizons, fewer nodes) use ``scale < 1``
+    so that the same *relative* mix of mice and elephants arrives within the
+    simulated window; the paper's 50M-timeslot runs correspond to
+    ``scale=1``.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    out: List[Tuple[float, float]] = []
+    floor = 0.0
+    for size, p in points:
+        scaled = max(1.0, size * scale)
+        if scaled <= floor:  # keep the CDF strictly increasing after clamping
+            scaled = floor + 1.0
+        out.append((scaled, p))
+        floor = scaled
+    return out
+
+
+class ShortFlowDistribution(EmpiricalCdf):
+    """The paper's *short flow workload* (after Benson et al., IMC 2010).
+
+    Production-datacenter flow sizes: the overwhelming majority of flows are
+    under 10 kB, with the distribution capped at 3 MB.  Produces primarily
+    path-collision congestion.
+
+    Args:
+        scale: multiply every flow size by this factor (see ``_scaled``).
+    """
+
+    def __init__(self, scale: float = 1.0) -> None:
+        super().__init__(
+            points=_scaled([
+                (100, 0.02),
+                (250, 0.10),
+                (500, 0.30),
+                (1_000, 0.50),
+                (2_000, 0.65),
+                (5_000, 0.78),
+                (10_000, 0.86),
+                (30_000, 0.92),
+                (100_000, 0.96),
+                (300_000, 0.98),
+                (1_000_000, 0.995),
+                (3_000_000, 1.0),
+            ], scale),
+            name="short-flow",
+        )
+
+
+class HeavyTailedDistribution(EmpiricalCdf):
+    """The paper's *heavy-tailed workload* (after the VL2 data-mining trace).
+
+    Most flows are mice but most *bytes* ride elephants of up to 1 GB.
+    Produces significant egress congestion.
+
+    Args:
+        scale: multiply every flow size by this factor (see ``_scaled``).
+        The paper's 50M-timeslot runs need scale=1; down-scaled runs use
+        a proportionally smaller scale so elephants fit the horizon.
+    """
+
+    def __init__(self, scale: float = 1.0) -> None:
+        super().__init__(
+            points=_scaled([
+                (100, 0.10),
+                (300, 0.30),
+                (1_000, 0.50),
+                (3_000, 0.60),
+                (10_000, 0.70),
+                (100_000, 0.80),
+                (1_000_000, 0.90),
+                (10_000_000, 0.95),
+                (100_000_000, 0.985),
+                (1_000_000_000, 1.0),
+            ], scale),
+            name="heavy-tailed",
+        )
+
+
+class UniformSizeDistribution(FlowSizeDistribution):
+    """Uniform flow sizes in ``[lo, hi]`` bytes (testing / microbenchmarks)."""
+
+    def __init__(self, lo: int, hi: int):
+        if not 1 <= lo <= hi:
+            raise ValueError("need 1 <= lo <= hi")
+        self.lo = lo
+        self.hi = hi
+        self.name = f"uniform[{lo},{hi}]"
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.lo, self.hi)
+
+    def mean_bytes(self) -> float:
+        return (self.lo + self.hi) / 2
+
+    def max_bytes(self) -> int:
+        return self.hi
+
+
+class FixedSizeDistribution(FlowSizeDistribution):
+    """Every flow has exactly ``size_bytes`` bytes."""
+
+    def __init__(self, size_bytes: int):
+        if size_bytes < 1:
+            raise ValueError("size must be positive")
+        self.size_bytes = size_bytes
+        self.name = f"fixed[{size_bytes}]"
+
+    def sample(self, rng: random.Random) -> int:
+        return self.size_bytes
+
+    def mean_bytes(self) -> float:
+        return float(self.size_bytes)
+
+    def max_bytes(self) -> int:
+        return self.size_bytes

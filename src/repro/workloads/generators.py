@@ -1,0 +1,165 @@
+"""Workload generators: Poisson flow arrivals, permutations, incast.
+
+The paper's evaluation setup (Section 5): "Flows arrive according to a
+Poisson process, and sources and destinations are chosen with uniform
+probability across all nodes", with the arrival rate set by a *load factor*
+``L`` — the average sending rate at each node divided by its total available
+bandwidth (one cell per timeslot).
+
+The failure experiment (Section 5.4) instead uses "a synthetic workload
+consisting of 10 overlaid permutation traffic matrices".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..sim.config import SimConfig
+from ..sim.engine import ScheduledFlow
+from .distributions import FlowSizeDistribution, bytes_to_cells
+
+__all__ = [
+    "poisson_workload",
+    "permutation_workload",
+    "overlaid_permutations_workload",
+    "incast_workload",
+    "single_flow_workload",
+    "all_to_all_workload",
+]
+
+
+def poisson_workload(
+    config: SimConfig,
+    distribution: FlowSizeDistribution,
+    load: float,
+    duration: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    nodes: Optional[Sequence[int]] = None,
+) -> List[ScheduledFlow]:
+    """Poisson flow arrivals with uniform random endpoints at load ``L``.
+
+    Args:
+        config: supplies ``n`` and the default duration/seed.
+        distribution: flow-size sampler.
+        load: target load factor ``L`` in cells per node per timeslot.
+        duration: arrival window in timeslots (default: ``config.duration``).
+        rng: random source (default: seeded from ``config.seed``).
+        nodes: restrict endpoints to this subset (used under failures).
+
+    Returns:
+        Flow tuples ``(arrival, src, dst, cells, bytes)`` sorted by arrival.
+    """
+    if not 0.0 < load <= 1.0:
+        raise ValueError(f"load must be in (0, 1], got {load}")
+    rng = rng if rng is not None else random.Random(config.seed ^ 0x5EED)
+    duration = duration if duration is not None else config.duration
+    pool = list(nodes) if nodes is not None else list(range(config.n))
+    if len(pool) < 2:
+        raise ValueError("need at least two nodes")
+    # Network-wide arrival rate: each node sends `load` cells/slot on
+    # average, so flows/slot = n * load / E[cells per flow].
+    mean_cells = distribution.mean_cells()
+    rate = len(pool) * load / mean_cells
+    flows: List[ScheduledFlow] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        arrival = int(t)
+        if arrival >= duration:
+            break
+        src = pool[rng.randrange(len(pool))]
+        dst = pool[rng.randrange(len(pool))]
+        while dst == src:
+            dst = pool[rng.randrange(len(pool))]
+        size_bytes = distribution.sample(rng)
+        flows.append((arrival, src, dst, bytes_to_cells(size_bytes), size_bytes))
+    return flows
+
+
+def permutation_workload(
+    config: SimConfig,
+    size_cells: int,
+    arrival: int = 0,
+    rng: Optional[random.Random] = None,
+    nodes: Optional[Sequence[int]] = None,
+) -> List[ScheduledFlow]:
+    """One random permutation: every node sends one flow, no shared endpoints.
+
+    Used by the hardware-validation experiment (Fig. 8) and as the building
+    block for the failure experiment (Fig. 12).
+    """
+    rng = rng if rng is not None else random.Random(config.seed ^ 0x9E37)
+    pool = list(nodes) if nodes is not None else list(range(config.n))
+    if len(pool) < 2:
+        raise ValueError("need at least two nodes")
+    targets = _derangement(pool, rng)
+    size_bytes = size_cells * 244
+    return sorted(
+        (arrival, src, dst, size_cells, size_bytes)
+        for src, dst in zip(pool, targets)
+    )
+
+
+def _derangement(pool: Sequence[int], rng: random.Random) -> List[int]:
+    """A random permutation of ``pool`` with no fixed points."""
+    items = list(pool)
+    while True:
+        rng.shuffle(items)
+        if all(a != b for a, b in zip(pool, items)):
+            return items
+
+
+def overlaid_permutations_workload(
+    config: SimConfig,
+    size_cells: int,
+    count: int = 10,
+    rng: Optional[random.Random] = None,
+    nodes: Optional[Sequence[int]] = None,
+) -> List[ScheduledFlow]:
+    """``count`` overlaid permutation matrices (the Fig. 12 workload).
+
+    All permutations arrive at time zero; the paper measures the average
+    destination throughput over the run.
+    """
+    rng = rng if rng is not None else random.Random(config.seed ^ 0xFA11)
+    flows: List[ScheduledFlow] = []
+    for _ in range(count):
+        flows.extend(
+            permutation_workload(config, size_cells, arrival=0, rng=rng, nodes=nodes)
+        )
+    return sorted(flows)
+
+
+def incast_workload(
+    config: SimConfig,
+    target: int,
+    senders: Sequence[int],
+    size_cells: int,
+    arrival: int = 0,
+) -> List[ScheduledFlow]:
+    """Every sender starts a ``size_cells`` flow to ``target`` at ``arrival``."""
+    if target in senders:
+        raise ValueError("target cannot also be a sender")
+    size_bytes = size_cells * 244
+    return [(arrival, s, target, size_cells, size_bytes) for s in senders]
+
+
+def single_flow_workload(
+    src: int, dst: int, size_cells: int, arrival: int = 0
+) -> List[ScheduledFlow]:
+    """A single flow (microbenchmarks and latency floor measurements)."""
+    return [(arrival, src, dst, size_cells, size_cells * 244)]
+
+
+def all_to_all_workload(
+    config: SimConfig, size_cells: int, arrival: int = 0
+) -> List[ScheduledFlow]:
+    """Every ordered pair exchanges one flow (saturation stress test)."""
+    size_bytes = size_cells * 244
+    return sorted(
+        (arrival, src, dst, size_cells, size_bytes)
+        for src in range(config.n)
+        for dst in range(config.n)
+        if src != dst
+    )

@@ -1,0 +1,119 @@
+"""Workload import/export in a plain CSV format.
+
+Workloads are lists of ``(arrival, src, dst, cells, bytes)`` tuples.  This
+module serialises them so that a workload generated once (or converted from
+an external trace) can be replayed identically across runs and across
+simulators — the Shale engine, the Opera baseline, and the multi-class
+simulation all accept the same tuples.
+
+Format: a header line then one flow per line::
+
+    arrival,src,dst,cells,bytes
+    0,3,11,42,10248
+    17,0,5,1,100
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Iterable, List, Sequence, TextIO, Tuple, Union
+
+from ..sim.engine import ScheduledFlow
+
+__all__ = [
+    "write_workload",
+    "read_workload",
+    "workload_to_string",
+    "workload_from_string",
+    "workload_stats",
+]
+
+_HEADER = ["arrival", "src", "dst", "cells", "bytes"]
+
+
+def _write(flows: Iterable[ScheduledFlow], handle: TextIO) -> int:
+    writer = csv.writer(handle)
+    writer.writerow(_HEADER)
+    count = 0
+    for flow in flows:
+        if len(flow) != 5:
+            raise ValueError(f"flow tuple must have 5 fields, got {flow!r}")
+        writer.writerow(flow)
+        count += 1
+    return count
+
+
+def _read(handle: TextIO) -> List[ScheduledFlow]:
+    reader = csv.reader(handle)
+    header = next(reader, None)
+    if header != _HEADER:
+        raise ValueError(
+            f"bad workload header {header!r}; expected {_HEADER!r}"
+        )
+    flows: List[ScheduledFlow] = []
+    for line_no, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != 5:
+            raise ValueError(f"line {line_no}: expected 5 fields, got {row!r}")
+        try:
+            arrival, src, dst, cells, size_bytes = (int(x) for x in row)
+        except ValueError as exc:
+            raise ValueError(f"line {line_no}: non-integer field: {exc}")
+        if cells < 1 or size_bytes < 0 or arrival < 0:
+            raise ValueError(f"line {line_no}: out-of-range values in {row!r}")
+        if src == dst:
+            raise ValueError(f"line {line_no}: src == dst == {src}")
+        flows.append((arrival, src, dst, cells, size_bytes))
+    flows.sort()
+    return flows
+
+
+def write_workload(
+    flows: Iterable[ScheduledFlow],
+    path: Union[str, pathlib.Path],
+) -> int:
+    """Write a workload to ``path``; returns the number of flows written."""
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        return _write(flows, handle)
+
+
+def read_workload(path: Union[str, pathlib.Path]) -> List[ScheduledFlow]:
+    """Read a workload from ``path`` (sorted by arrival)."""
+    with pathlib.Path(path).open("r", newline="") as handle:
+        return _read(handle)
+
+
+def workload_to_string(flows: Iterable[ScheduledFlow]) -> str:
+    """Serialise a workload to a CSV string."""
+    buffer = io.StringIO()
+    _write(flows, buffer)
+    return buffer.getvalue()
+
+
+def workload_from_string(text: str) -> List[ScheduledFlow]:
+    """Parse a workload from a CSV string."""
+    return _read(io.StringIO(text))
+
+
+def workload_stats(flows: Sequence[ScheduledFlow]) -> dict:
+    """Summary statistics of a workload (for reports and sanity checks)."""
+    if not flows:
+        return {"flows": 0}
+    cells = [f[3] for f in flows]
+    sizes = [f[4] for f in flows]
+    horizon = max(f[0] for f in flows) + 1
+    nodes = {f[1] for f in flows} | {f[2] for f in flows}
+    return {
+        "flows": len(flows),
+        "total_cells": sum(cells),
+        "total_bytes": sum(sizes),
+        "max_cells": max(cells),
+        "mean_cells": sum(cells) / len(cells),
+        "horizon": horizon,
+        "nodes": len(nodes),
+        "offered_cells_per_node_slot": sum(cells) / (len(nodes) * horizon),
+    }

@@ -1,0 +1,118 @@
+"""Unit tests for token ledgers and active-bucket tracking."""
+
+import pytest
+
+from repro.core.buckets import ActiveBucketTracker, TokenLedger
+
+
+class TestTokenLedger:
+    def test_initial_credit_equals_budget(self):
+        ledger = TokenLedger(budget=1)
+        assert ledger.available(3, (7, 1)) == 1
+        assert ledger.can_send(3, (7, 1))
+
+    def test_charge_consumes_credit(self):
+        ledger = TokenLedger(budget=1)
+        ledger.charge(3, (7, 1))
+        assert not ledger.can_send(3, (7, 1))
+        assert ledger.available(3, (7, 1)) == 0
+
+    def test_credit_restores(self):
+        ledger = TokenLedger(budget=1)
+        ledger.charge(3, (7, 1))
+        ledger.credit(3, (7, 1))
+        assert ledger.can_send(3, (7, 1))
+
+    def test_over_charge_raises(self):
+        ledger = TokenLedger(budget=1)
+        ledger.charge(3, (7, 1))
+        with pytest.raises(RuntimeError):
+            ledger.charge(3, (7, 1))
+
+    def test_budget_t_allows_t_outstanding(self):
+        ledger = TokenLedger(budget=3)
+        for _ in range(3):
+            ledger.charge(0, (1, 0))
+        assert not ledger.can_send(0, (1, 0))
+
+    def test_spurious_credit_never_exceeds_budget(self):
+        ledger = TokenLedger(budget=2)
+        ledger.credit(0, (1, 0))  # nothing outstanding
+        assert ledger.available(0, (1, 0)) == 2
+        ledger.charge(0, (1, 0))
+        ledger.credit(0, (1, 0))
+        ledger.credit(0, (1, 0))  # extra credit ignored
+        assert ledger.available(0, (1, 0)) == 2
+
+    def test_pairs_are_independent(self):
+        ledger = TokenLedger(budget=1)
+        ledger.charge(0, (1, 0))
+        assert ledger.can_send(0, (1, 1))      # other bucket
+        assert ledger.can_send(1, (1, 0))      # other neighbour
+
+    def test_first_hop_budget(self):
+        ledger = TokenLedger(budget=1, first_hop_budget=3)
+        for _ in range(3):
+            ledger.charge(5, (9, 1), first_hop=True)
+        assert not ledger.can_send(5, (9, 1), first_hop=True)
+        # interior pairs still follow the base budget
+        ledger.charge(6, (9, 1))
+        assert not ledger.can_send(6, (9, 1))
+
+    def test_first_hop_defaults_to_budget(self):
+        ledger = TokenLedger(budget=2)
+        assert ledger.first_hop_budget == 2
+
+    def test_outstanding_accounting(self):
+        ledger = TokenLedger(budget=2)
+        assert ledger.outstanding() == 0
+        ledger.charge(0, (1, 0))
+        ledger.charge(0, (1, 0))
+        ledger.charge(0, (2, 0))
+        assert ledger.outstanding() == 3
+        assert ledger.outstanding_pairs() == 2
+        ledger.credit(0, (1, 0))
+        assert ledger.outstanding() == 2
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            TokenLedger(budget=0)
+        with pytest.raises(ValueError):
+            TokenLedger(budget=1, first_hop_budget=-1)
+
+
+class TestActiveBucketTracker:
+    def test_acquire_release(self):
+        tracker = ActiveBucketTracker()
+        tracker.acquire((1, 0))
+        assert tracker.active == 1
+        tracker.release((1, 0))
+        assert tracker.active == 0
+
+    def test_refcounting(self):
+        tracker = ActiveBucketTracker()
+        tracker.acquire((1, 0))
+        tracker.acquire((1, 0))
+        tracker.release((1, 0))
+        assert tracker.active == 1  # still one reference
+
+    def test_peak_tracks_high_water_mark(self):
+        tracker = ActiveBucketTracker()
+        for i in range(5):
+            tracker.acquire((i, 0))
+        for i in range(5):
+            tracker.release((i, 0))
+        tracker.acquire((9, 0))
+        assert tracker.peak == 5
+        assert tracker.active == 1
+
+    def test_release_unknown_is_noop(self):
+        tracker = ActiveBucketTracker()
+        tracker.release((42, 1))
+        assert tracker.active == 0
+
+    def test_active_buckets_iteration(self):
+        tracker = ActiveBucketTracker()
+        tracker.acquire((1, 0))
+        tracker.acquire((2, 1))
+        assert set(tracker.active_buckets()) == {(1, 0), (2, 1)}

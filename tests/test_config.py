@@ -1,0 +1,75 @@
+"""Unit tests for simulation configuration and the timing model."""
+
+import pytest
+
+from repro.sim.config import PAPER_TIMING, SimConfig, TimingModel
+
+
+class TestTimingModel:
+    def test_paper_constants(self):
+        """Section 5's numbers: 256 B cells, 400 Gbps aggregate, 5.632 ns
+        effective timeslot period."""
+        t = PAPER_TIMING
+        assert t.cell_bytes == 256
+        assert t.aggregate_gbps == 400.0
+        assert t.effective_slot_ns == pytest.approx(5.632)
+        assert t.usable_ns == pytest.approx(40.96)
+
+    def test_unit_conversions_roundtrip(self):
+        t = TimingModel()
+        assert t.ns_to_slots(t.slots_to_ns(89)) == pytest.approx(89)
+
+    def test_propagation_delay_of_half_us(self):
+        """0.5 us ~ 89 timeslots (the paper's datacenter setting)."""
+        assert round(PAPER_TIMING.ns_to_slots(500)) == 89
+
+
+class TestSimConfig:
+    def test_defaults_valid(self):
+        cfg = SimConfig()
+        assert cfg.n == 64
+        assert cfg.h == 2
+
+    def test_non_power_n_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(n=10, h=2)
+
+    def test_unknown_cc_rejected(self):
+        with pytest.raises(ValueError, match="unknown congestion control"):
+            SimConfig(congestion_control="tcp")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(propagation_delay=-1)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(duration=0)
+
+    def test_token_budget_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(token_budget=0)
+        with pytest.raises(ValueError):
+            SimConfig(tokens_per_header=0)
+
+    @pytest.mark.parametrize(
+        "cc,spray,hbh",
+        [
+            ("none", False, False),
+            ("priority", False, False),
+            ("isd", False, False),
+            ("rd", False, False),
+            ("ndp", False, False),
+            ("spray-short", True, False),
+            ("hop-by-hop", False, True),
+            ("hbh+spray", True, True),
+        ],
+    )
+    def test_mechanism_flags(self, cc, spray, hbh):
+        cfg = SimConfig(congestion_control=cc)
+        assert cfg.uses_spray_short == spray
+        assert cfg.uses_hop_by_hop == hbh
+
+    def test_all_valid_cc_construct(self):
+        for cc in SimConfig.VALID_CC:
+            SimConfig(congestion_control=cc)

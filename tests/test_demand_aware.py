@@ -1,0 +1,141 @@
+"""Tests for demand-aware sub-schedules (the Section 3.2.2 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.demand_aware import (
+    DemandAwareSchedule,
+    bvn_decomposition,
+    optimal_latency_share,
+    service_fraction,
+)
+from repro.core.schedule import Schedule
+
+
+def permutation_demand(n, shift=1, rate=1.0):
+    matrix = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        matrix[i][(i + shift) % n] = rate
+    return matrix
+
+
+def uniform_demand(n, rate=1.0):
+    per_pair = rate / (n - 1)
+    return [
+        [0.0 if i == j else per_pair for j in range(n)] for i in range(n)
+    ]
+
+
+class TestBvnDecomposition:
+    def test_permutation_is_one_matching(self):
+        matchings = bvn_decomposition(permutation_demand(8))
+        assert len(matchings) == 1
+        weight, matching = matchings[0]
+        assert weight == pytest.approx(1.0)
+        assert matching == [(i + 1) % 8 for i in range(8)]
+
+    def test_uniform_covers_all_mass(self):
+        n = 6
+        matchings = bvn_decomposition(uniform_demand(n), max_matchings=n)
+        covered = sum(w for w, _ in matchings)
+        assert covered == pytest.approx(1.0, rel=0.05)
+
+    def test_weights_sorted_descending(self):
+        demand = permutation_demand(6, shift=1, rate=3.0)
+        for i in range(6):
+            demand[i][(i + 2) % 6] = 1.0
+        matchings = bvn_decomposition(demand)
+        weights = [w for w, _ in matchings]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            bvn_decomposition([[0, 1]])
+        with pytest.raises(ValueError, match="non-negative"):
+            bvn_decomposition([[0, -1], [1, 0]])
+        with pytest.raises(ValueError, match="diagonal"):
+            bvn_decomposition([[1, 0], [0, 1]])
+
+
+class TestDemandAwareSchedule:
+    def test_permutation_served_at_line_rate(self):
+        """The specialisation payoff: a known permutation gets 100% of line
+        rate vs Shale's 1/(2h) oblivious guarantee."""
+        n = 9
+        demand = permutation_demand(n)
+        schedule = DemandAwareSchedule(demand, frame_length=16)
+        assert schedule.throughput_for(demand) == pytest.approx(1.0)
+        shale = Schedule.for_network(n, 2)
+        assert schedule.throughput_for(demand) > 2 * shale.throughput_guarantee()
+
+    def test_wrong_demand_poorly_served(self):
+        """The specialisation cost: demand it was not built for can get
+        nothing (obliviousness is what Shale buys)."""
+        n = 9
+        schedule = DemandAwareSchedule(permutation_demand(n, shift=1))
+        reversed_demand = permutation_demand(n, shift=n - 2)
+        assert schedule.throughput_for(reversed_demand) < 0.2
+
+    def test_frame_slot_apportionment(self):
+        demand = permutation_demand(6, shift=1, rate=3.0)
+        for i in range(6):
+            demand[i][(i + 2) % 6] = 1.0
+        schedule = DemandAwareSchedule(demand, frame_length=8)
+        assert schedule.epoch_length == 8
+        # heavier matching gets ~3/4 of the frame
+        heavy = schedule._slot_counts[0]
+        assert 5 <= heavy <= 7
+
+    def test_send_target_duck_typing(self):
+        schedule = DemandAwareSchedule(permutation_demand(6), frame_length=4)
+        for t in range(8):
+            for node in range(6):
+                target = schedule.send_target(node, t)
+                assert target == (node + 1) % 6
+
+    def test_mixed_demand_pair_rates(self):
+        demand = permutation_demand(6, shift=1, rate=1.0)
+        for i in range(6):
+            demand[i][(i + 2) % 6] = 1.0
+        schedule = DemandAwareSchedule(demand, frame_length=10)
+        r1 = schedule.pair_rate(0, 1)
+        r2 = schedule.pair_rate(0, 2)
+        assert r1 == pytest.approx(0.5, abs=0.11)
+        assert r2 == pytest.approx(0.5, abs=0.11)
+
+    def test_empty_demand_rejected(self):
+        with pytest.raises(ValueError, match="no traffic"):
+            DemandAwareSchedule([[0.0, 0.0], [0.0, 0.0]])
+
+    def test_service_fraction_alias(self):
+        demand = permutation_demand(6)
+        schedule = DemandAwareSchedule(demand)
+        assert service_fraction(schedule, demand) == \
+            schedule.throughput_for(demand)
+
+
+class TestOptimalShare:
+    def test_balanced_loads(self):
+        # equal loads, h=2 vs h=4: the latency class needs twice the slots
+        # per unit load, so it gets 2/3 of them
+        s = optimal_latency_share(1.0, 1.0, h_bulk=2, h_latency=4)
+        assert s == pytest.approx(2 / 3)
+
+    def test_all_short(self):
+        assert optimal_latency_share(1.0, 0.0, 2, 4) == pytest.approx(1.0)
+
+    def test_all_bulk(self):
+        assert optimal_latency_share(0.0, 1.0, 2, 4) == pytest.approx(0.0)
+
+    def test_utilisations_equalised(self):
+        short, bulk = 0.3, 0.7
+        s = optimal_latency_share(short, bulk, 2, 4)
+        util_short = short / (s / 8)
+        util_bulk = bulk / ((1 - s) / 4)
+        assert util_short == pytest.approx(util_bulk)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_latency_share(-1.0, 1.0, 2, 4)
+        with pytest.raises(ValueError):
+            optimal_latency_share(0.0, 0.0, 2, 4)

@@ -1,0 +1,140 @@
+"""Tests for the direct-semi-path tree and subtree invalidation."""
+
+import pytest
+
+from repro.core.coordinates import CoordinateSystem
+from repro.core.routing import direct_semi_path
+from repro.failures.direct_tree import (
+    DirectPathTree,
+    direct_next_hop,
+    invalidated_destinations,
+)
+
+
+@pytest.fixture
+def cs16():
+    return CoordinateSystem(16, 2)
+
+
+class TestDirectNextHop:
+    def test_matches_direct_semi_path(self, cs16):
+        for node in range(16):
+            for dst in range(16):
+                if node == dst:
+                    continue
+                hop = direct_next_hop(cs16, node, dst)
+                path = direct_semi_path(cs16, node, dst, start_phase=0)
+                assert hop == path[1]
+
+    def test_none_at_destination(self, cs16):
+        assert direct_next_hop(cs16, 5, 5) is None
+
+    def test_start_phase_changes_order(self, cs16):
+        a = cs16.node_id((1, 2))
+        b = cs16.node_id((3, 0))
+        hop0 = direct_next_hop(cs16, a, b, start_phase=0)
+        hop1 = direct_next_hop(cs16, a, b, start_phase=1)
+        assert hop0 != hop1  # both coordinates differ, so order matters
+        assert cs16.coordinate(hop0, 0) == 3
+        assert cs16.coordinate(hop1, 1) == 0
+
+
+class TestDirectPathTree:
+    def test_tree_covers_all_nodes(self, cs16):
+        tree = DirectPathTree(cs16, dst=9)
+        assert set(tree.parent) == set(range(16)) - {9}
+
+    def test_paths_terminate_at_destination(self, cs16):
+        tree = DirectPathTree(cs16, dst=9)
+        for node in range(16):
+            if node == 9:
+                continue
+            path = tree.path_from(node)
+            assert path[-1] == 9
+            assert len(path) - 1 <= cs16.h
+
+    def test_no_cycles(self, cs16):
+        tree = DirectPathTree(cs16, dst=0)
+        for node in range(1, 16):
+            seen = set()
+            cur = node
+            while cur != 0:
+                assert cur not in seen
+                seen.add(cur)
+                cur = tree.parent[cur]
+
+    def test_subtree_membership(self, cs16):
+        tree = DirectPathTree(cs16, dst=0)
+        for node in range(1, 16):
+            sub = tree.subtree(node)
+            assert node in sub
+            # every subtree member's path passes through `node`
+            for member in sub:
+                assert node in tree.path_from(member)
+
+    def test_subtrees_partition_under_root_children(self, cs16):
+        tree = DirectPathTree(cs16, dst=0)
+        roots = tree.children.get(0, [])
+        union = set()
+        for r in roots:
+            sub = tree.subtree(r)
+            assert not (union & sub)
+            union |= sub
+        assert union == set(range(1, 16))
+
+    def test_uses_link(self, cs16):
+        tree = DirectPathTree(cs16, dst=0)
+        node = 15
+        path = tree.path_from(node)
+        link = (path[0], path[1])
+        assert tree.uses_link(node, link)
+        assert not tree.uses_link(node, (path[1], path[0]))
+
+    def test_depth(self, cs16):
+        tree = DirectPathTree(cs16, dst=0)
+        one_coord_off = cs16.node_id((0, 2))
+        both_off = cs16.node_id((3, 3))
+        assert tree.depth(one_coord_off) == 1
+        assert tree.depth(both_off) == 2
+
+
+class TestInvalidation:
+    def test_final_link_failure_invalidates_subtree(self, cs16):
+        """Failing the last link into dst invalidates exactly the
+        destinations whose direct paths cross it — for paths into a single
+        dst, that's the dst for every node in the sender's subtree."""
+        dst = 0
+        tree = DirectPathTree(cs16, dst)
+        penultimate = tree.children[dst][0]
+        failed_link = (penultimate, dst)
+        # nodes whose path to dst crosses the failed link == subtree of the
+        # penultimate node
+        affected = tree.subtree(penultimate)
+        for node in range(1, 16):
+            if node == penultimate:
+                continue
+            invalid = invalidated_destinations(cs16, node, failed_link)
+            if node in affected:
+                assert dst in invalid
+            else:
+                assert dst not in invalid
+
+    def test_interior_link_failure(self, cs16):
+        """A failed interior link invalidates multiple destinations for the
+        nodes upstream of it."""
+        # link fixing coordinate 0: from (3,3) to (0,3)
+        a = cs16.node_id((3, 3))
+        b = cs16.node_id((0, 3))
+        invalid = invalidated_destinations(cs16, a, (a, b))
+        # every destination whose direct path from `a` starts with that hop
+        assert invalid
+        for dst in invalid:
+            path = direct_semi_path(cs16, a, dst, start_phase=0)
+            assert path[1] == b
+
+    def test_unrelated_observer_unaffected(self, cs16):
+        a = cs16.node_id((3, 3))
+        b = cs16.node_id((0, 3))
+        # an observer that never routes through (a -> b)
+        observer = cs16.node_id((0, 0))
+        assert invalidated_destinations(cs16, observer, (a, b)) == set()

@@ -1,0 +1,48 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the fast ones are executed outright so
+a refactor that breaks an example fails CI rather than a user's first run.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: examples cheap enough to execute inside the test suite
+FAST_EXAMPLES = ["schedule_gallery.py"]
+
+
+def test_examples_directory_populated():
+    names = {p.name for p in ALL_EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 5
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_examples_have_docstrings_and_main():
+    for path in ALL_EXAMPLES:
+        source = path.read_text()
+        assert source.lstrip().startswith(("#!", '"""')), path.name
+        assert '__name__ == "__main__"' in source, path.name

@@ -1,0 +1,96 @@
+"""Tests for the shared experiment plumbing (repro.experiments.common)."""
+
+import pytest
+
+from repro.experiments.common import (
+    DEFAULT_WORKLOAD_SCALE,
+    DISTRIBUTIONS,
+    format_table,
+    load_for,
+    run_cc_experiment,
+    workload_for,
+)
+from repro.sim.config import SimConfig
+
+
+class TestLoadFor:
+    def test_paper_values(self):
+        """Section 5: L = 0.24 for h=2 and L = 0.12 for h=4."""
+        assert load_for(2) == pytest.approx(0.24)
+        assert load_for(4) == pytest.approx(0.12)
+
+    def test_fraction_scales(self):
+        assert load_for(2, fraction_of_guarantee=0.5) == pytest.approx(0.125)
+
+
+class TestWorkloadFor:
+    def test_known_distributions(self):
+        assert set(DISTRIBUTIONS) == {"short-flow", "heavy-tailed"}
+        assert set(DEFAULT_WORKLOAD_SCALE) == set(DISTRIBUTIONS)
+
+    def test_builds_sorted_flows(self):
+        cfg = SimConfig(n=16, h=2, duration=2000)
+        wl = workload_for(cfg, "short-flow", load=0.2)
+        assert wl
+        assert [f[0] for f in wl] == sorted(f[0] for f in wl)
+
+    def test_default_load_tracks_guarantee(self):
+        cfg = SimConfig(n=16, h=2, duration=3000)
+        near_guarantee = workload_for(cfg, "short-flow")
+        light = workload_for(cfg, "short-flow", load=0.05)
+        offered_a = sum(f[3] for f in near_guarantee)
+        offered_b = sum(f[3] for f in light)
+        assert offered_a > 2 * offered_b
+
+    def test_heavy_tail_scaled_by_default(self):
+        cfg = SimConfig(n=16, h=2, duration=5000)
+        wl = workload_for(cfg, "heavy-tailed", load=0.2)
+        # scale 0.02 caps flows at ~20 MB = ~82k cells
+        assert max(f[3] for f in wl) <= 90_000
+
+    def test_unknown_distribution(self):
+        cfg = SimConfig(n=16, h=2)
+        with pytest.raises(KeyError):
+            workload_for(cfg, "bimodal")
+
+
+class TestRunCcExperiment:
+    def test_drain_completes_flows(self):
+        cfg = SimConfig(
+            n=16, h=2, duration=1000, propagation_delay=2,
+            congestion_control="none", seed=1,
+        )
+        wl = workload_for(cfg, "short-flow", load=0.1)
+        engine = run_cc_experiment(cfg, wl, drain=True)
+        assert len(engine.flows.completed) == len(wl)
+
+    def test_no_drain_leaves_time_at_duration(self):
+        cfg = SimConfig(
+            n=16, h=2, duration=1000, propagation_delay=2,
+            congestion_control="none", seed=1,
+        )
+        engine = run_cc_experiment(cfg, [], drain=False)
+        assert engine.t == 1000
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["name", "value"], [("a", 1.5), ("bb", 22.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        # columns right-justified to equal width
+        assert lines[2].endswith("1.50")
+        assert lines[3].endswith("22.25")
+
+    def test_float_format_override(self):
+        text = format_table(["x"], [(1.23456,)], float_fmt="{:.4f}")
+        assert "1.2346" in text
+
+    def test_non_floats_passthrough(self):
+        text = format_table(["a", "b"], [(10, "hello")])
+        assert "10" in text and "hello" in text
+
+    def test_empty_rows(self):
+        text = format_table(["only", "headers"], [])
+        assert "only" in text

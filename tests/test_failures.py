@@ -1,0 +1,169 @@
+"""Tests for failure detection, invalidation and rerouting."""
+
+import pytest
+
+from repro.failures.manager import FailureEvent, FailureManager
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine
+from repro.workloads.generators import (
+    permutation_workload,
+    single_flow_workload,
+)
+
+
+def build(failed=(), events=None, n=16, h=2, duration=4000, cc="hbh+spray",
+          propagate=True, seed=31):
+    cfg = SimConfig(
+        n=n, h=h, duration=duration, propagation_delay=2,
+        congestion_control=cc, seed=seed,
+    )
+    manager = FailureManager(
+        failed_nodes=failed, events=events, propagate=propagate
+    )
+    return cfg, Engine(cfg, failure_manager=manager), manager
+
+
+class TestFailureEvents:
+    def test_event_repr_and_fields(self):
+        event = FailureEvent(100, 3)
+        assert event.t == 100
+        assert event.failed
+
+    def test_detection_epochs_validated(self):
+        with pytest.raises(ValueError):
+            FailureManager(detection_epochs=0)
+
+
+class TestInitialFailures:
+    def test_failed_nodes_marked(self):
+        cfg, engine, _ = build(failed=[3, 7])
+        assert engine.nodes[3].failed
+        assert engine.nodes[7].failed
+        assert not engine.nodes[0].failed
+
+    def test_neighbors_detect_failed_links(self):
+        cfg, engine, _ = build(failed=[3])
+        for nb in engine.coords.all_neighbors(3):
+            assert 3 in engine.nodes[nb].failed_neighbors
+
+    def test_flows_involving_failed_nodes_skipped(self):
+        cfg, engine, _ = build(failed=[5])
+        engine.schedule_flows([(0, 5, 1, 10, 2440), (0, 0, 5, 10, 2440)])
+        engine.run(duration=100)
+        assert engine.flows.active_count == 0
+
+    def test_failed_nodes_never_transmit(self):
+        cfg, engine, _ = build(failed=[3])
+        engine.schedule_flows(single_flow_workload(0, 15, 50))
+        engine.run_until_quiescent(max_extra=100_000)
+        # if node 3 had transmitted, arrivals would reference it as sender
+        assert engine.nodes[3].idle or engine.nodes[3].failed
+
+
+class TestRoutingAroundFailures:
+    def test_flow_completes_despite_intermediate_failures(self):
+        """Cells avoid failed nodes and the flow still completes."""
+        cfg, engine, _ = build(failed=[5, 6], duration=8000)
+        engine.schedule_flows(single_flow_workload(0, 15, 100))
+        engine.run_until_quiescent(max_extra=300_000)
+        assert len(engine.flows.completed) == 1
+
+    @pytest.mark.parametrize("h,n", [(2, 16), (4, 81)])
+    def test_permutation_completes_under_failures(self, h, n):
+        # n is chosen so r >= 3: with r = 2 a phase has a single neighbour
+        # and one failure severs the phase entirely.
+        cfg, engine, _ = build(failed=[2, 9], h=h, n=n, duration=8000)
+        alive = [i for i in range(n) if i not in (2, 9)]
+        engine.schedule_flows(
+            permutation_workload(cfg, size_cells=60, nodes=alive)
+        )
+        engine.run_until_quiescent(max_extra=300_000)
+        assert len(engine.flows.completed) == len(alive)
+
+    def test_spray_never_targets_known_failed(self):
+        cfg, engine, _ = build(failed=[5], duration=3000)
+        alive = [i for i in range(16) if i != 5]
+        engine.schedule_flows(
+            permutation_workload(cfg, size_cells=200, nodes=alive)
+        )
+        for _ in range(3000):
+            engine.step()
+            for _, tx in engine._in_flight:
+                assert tx.receiver != 5
+
+
+class TestInvalidationPropagation:
+    def test_invalidation_tokens_spread_knowledge(self):
+        cfg, engine, _ = build(failed=[5], duration=6000)
+        alive = [i for i in range(16) if i != 5]
+        engine.schedule_flows(
+            permutation_workload(cfg, size_cells=2000, nodes=alive)
+        )
+        engine.run()
+        # under hop-by-hop traffic, invalidation gossip should have reached
+        # well beyond the failed node's direct neighbours
+        knowers = sum(
+            1 for node in engine.nodes
+            if not node.failed and (
+                5 in node.known_failed or 5 in node.failed_neighbors
+            )
+        )
+        assert knowers > len(engine.coords.all_neighbors(5)) // 2
+
+    def test_no_propagation_ablation(self):
+        cfg, engine, _ = build(failed=[5], propagate=False, duration=4000)
+        alive = [i for i in range(16) if i != 5]
+        engine.schedule_flows(
+            permutation_workload(cfg, size_cells=500, nodes=alive)
+        )
+        engine.run()
+        for node in engine.nodes:
+            assert 5 not in node.known_failed
+
+
+class TestMidRunFailures:
+    def test_timed_failure_takes_effect(self):
+        events = [FailureEvent(1000, 7)]
+        cfg, engine, _ = build(events=events, duration=3000)
+        engine.run(duration=500)
+        assert not engine.nodes[7].failed
+        engine.run(duration=1000)
+        assert engine.nodes[7].failed
+
+    def test_recovery_restores_node(self):
+        events = [FailureEvent(500, 7), FailureEvent(1500, 7, failed=False)]
+        cfg, engine, _ = build(events=events, duration=3000)
+        engine.run(duration=1000)
+        assert engine.nodes[7].failed
+        engine.run(duration=1000)
+        assert not engine.nodes[7].failed
+        for nb in engine.coords.all_neighbors(7):
+            assert 7 not in engine.nodes[nb].failed_neighbors
+
+    def test_traffic_survives_mid_run_failure(self):
+        events = [FailureEvent(1000, 6)]
+        cfg, engine, _ = build(events=events, duration=10_000)
+        alive = [i for i in range(16) if i != 6]
+        engine.schedule_flows(
+            permutation_workload(cfg, size_cells=100, nodes=alive)
+        )
+        engine.run_until_quiescent(max_extra=300_000)
+        assert len(engine.flows.completed) == len(alive)
+
+
+class TestThroughputUnderFailures:
+    def test_throughput_degrades_gracefully(self):
+        """Fig. 12 shape: a few failures cost roughly their proportion."""
+        tputs = {}
+        for failed in ([], [3]):
+            cfg, engine, _ = build(
+                failed=failed, n=16, duration=6000, seed=7
+            )
+            alive = [i for i in range(16) if i not in set(failed)]
+            engine.schedule_flows(
+                permutation_workload(cfg, size_cells=6000, nodes=alive)
+            )
+            engine.run()
+            delivered = engine.metrics.payload_cells_delivered
+            tputs[len(failed)] = delivered / (len(alive) * cfg.duration)
+        assert tputs[1] > 0.6 * tputs[0]

@@ -1,0 +1,183 @@
+"""Unit tests for flow tables, flow records and metrics collection."""
+
+import pytest
+
+from repro.sim.flows import Flow, FlowRecord, FlowTable
+from repro.sim.metrics import MetricsCollector, percentile
+
+
+class TestFlow:
+    def test_lifecycle_flags(self):
+        flow = Flow(0, src=1, dst=2, size_cells=3, arrival=10)
+        assert flow.remaining == 3
+        assert not flow.done_sending
+        flow.sent = 3
+        assert flow.done_sending
+        assert not flow.complete
+        flow.delivered = 3
+        assert flow.complete
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Flow(0, src=1, dst=1, size_cells=3, arrival=0)
+        with pytest.raises(ValueError):
+            Flow(0, src=1, dst=2, size_cells=0, arrival=0)
+
+    def test_default_size_bytes(self):
+        flow = Flow(0, 1, 2, size_cells=10, arrival=0)
+        assert flow.size_bytes == 2440
+
+
+class TestFlowRecord:
+    def test_requires_completion(self):
+        flow = Flow(0, 1, 2, 5, arrival=100)
+        with pytest.raises(ValueError):
+            FlowRecord(flow)
+
+    def test_fct_and_normalization(self):
+        flow = Flow(0, 1, 2, size_cells=10, arrival=100)
+        flow.delivered = 10
+        flow.completed_at = 160
+        record = FlowRecord(flow)
+        assert record.fct == 60
+        # ideal = 10 cells + 20 propagation = 30 slots -> normalised 2.0
+        assert record.normalized_fct(20) == pytest.approx(2.0)
+
+    def test_perfect_flow_normalizes_to_one(self):
+        flow = Flow(0, 1, 2, size_cells=50, arrival=0)
+        flow.delivered = 50
+        flow.completed_at = 50 + 7
+        assert FlowRecord(flow).normalized_fct(7) == pytest.approx(1.0)
+
+
+class TestFlowTable:
+    def test_new_flow_ids_increment(self):
+        table = FlowTable()
+        a = table.new_flow(0, 1, 5, arrival=0)
+        b = table.new_flow(1, 2, 5, arrival=0)
+        assert b.flow_id == a.flow_id + 1
+
+    def test_incast_degree_tracking(self):
+        table = FlowTable()
+        table.new_flow(0, 9, 5, 0)
+        table.new_flow(1, 9, 5, 0)
+        table.new_flow(2, 3, 5, 0)
+        assert table.flows_to(9) == 2
+        assert table.flows_to(3) == 1
+        assert table.flows_to(7) == 0
+
+    def test_delivery_and_completion(self):
+        table = FlowTable()
+        flow = table.new_flow(0, 1, 2, arrival=5)
+        assert table.record_delivery(flow.flow_id, 10) is None
+        record = table.record_delivery(flow.flow_id, 12)
+        assert record is not None
+        assert record.fct == 7
+        assert table.get(flow.flow_id) is None
+        assert table.flows_to(1) == 0
+        assert table.completed == [record]
+
+    def test_delivery_to_unknown_flow_is_noop(self):
+        table = FlowTable()
+        assert table.record_delivery(99, 1) is None
+
+    def test_active_iteration(self):
+        table = FlowTable()
+        table.new_flow(0, 1, 5, 0)
+        table.new_flow(2, 3, 5, 0)
+        assert table.active_count == 2
+        assert len(list(table.active_flows())) == 2
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 99) == 0.0
+
+    def test_single(self):
+        assert percentile([5], 99.9) == 5.0
+
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_never_exceeds_max(self):
+        values = list(range(1000))
+        assert percentile(values, 99.99) <= 999
+
+
+class TestMetricsCollector:
+    def test_counters(self):
+        m = MetricsCollector(n=4)
+        m.on_cell_sent(dummy=False)
+        m.on_cell_sent(dummy=True)
+        m.on_cell_delivered(0, latency=12)
+        m.on_drop()
+        m.on_trim()
+        m.on_retransmission()
+        m.on_token_sent(2)
+        assert m.cells_sent == 2
+        assert m.dummy_cells_sent == 1
+        assert m.cells_delivered == 1
+        assert m.cells_dropped == 1
+        assert m.cells_trimmed == 1
+        assert m.retransmissions == 1
+        assert m.tokens_sent == 2
+
+    def test_queue_max_tracking(self):
+        m = MetricsCollector(n=4)
+        m.on_queue_length(3)
+        m.on_queue_length(7)
+        m.on_queue_length(2)
+        assert m.max_queue_length == 7
+
+    def test_sampling_interval_and_warmup(self):
+        m = MetricsCollector(n=4, sample_interval=10, warmup=20)
+        assert not m.should_sample(0)
+        assert not m.should_sample(10)
+        assert m.should_sample(20)
+        assert not m.should_sample(25)
+        assert m.should_sample(30)
+
+    def test_node_samples_feed_percentiles(self):
+        m = MetricsCollector(n=4)
+        for occ in (1, 2, 3, 100):
+            m.sample_node(occ, [occ])
+        assert m.max_buffer_occupancy == 100
+        assert m.buffer_occupancy_percentile(50) == pytest.approx(2.5)
+        assert m.queue_length_percentile(99) <= 100
+
+    def test_resource_peaks(self):
+        m = MetricsCollector(n=4)
+        m.sample_node(0, [], active_buckets=5, pieo_length=9)
+        m.sample_node(0, [], active_buckets=3, pieo_length=2)
+        assert m.max_active_buckets == 5
+        assert m.max_pieo_length == 9
+
+    def test_throughput_accounting(self):
+        m = MetricsCollector(n=2)
+        for _ in range(10):
+            m.on_cell_delivered(1, latency=1)
+        assert m.mean_throughput_cells_per_slot(duration=5, n=2) == 1.0
+        assert m.mean_throughput_cells_per_slot(duration=0, n=2) == 0.0
+
+    def test_goodput_fraction(self):
+        m = MetricsCollector(n=2)
+        for _ in range(4):
+            m.on_cell_sent(dummy=False)
+        m.on_cell_sent(dummy=True)
+        m.on_cell_delivered(0, 1)
+        assert m.goodput_fraction() == pytest.approx(0.25)
+
+    def test_summary_keys(self):
+        m = MetricsCollector(n=2)
+        summary = m.summary()
+        for key in ("cells_sent", "max_queue_length", "buffer_p9999"):
+            assert key in summary
+
+    def test_throughput_series_windows(self):
+        m = MetricsCollector(n=2)
+        m.on_cell_delivered(0, 1)
+        m.end_sample_window()
+        m.on_cell_delivered(0, 1)
+        m.on_cell_delivered(0, 1)
+        m.end_sample_window()
+        assert m.throughput_series == [1, 2]

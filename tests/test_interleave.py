@@ -1,0 +1,136 @@
+"""Unit tests for schedule interleaving."""
+
+import pytest
+
+from repro.core.interleave import (
+    InterleavedSchedule,
+    SubScheduleSpec,
+    two_class_interleave,
+)
+from repro.core.schedule import Schedule
+
+
+def make_specs(s=0.5, cutoff=100):
+    return [
+        SubScheduleSpec(Schedule.for_network(16, 4), share=s,
+                        name="latency", max_flow_size=cutoff),
+        SubScheduleSpec(Schedule.for_network(16, 2), share=1 - s,
+                        name="bulk"),
+    ]
+
+
+class TestSpecValidation:
+    def test_share_bounds(self):
+        with pytest.raises(ValueError):
+            SubScheduleSpec(Schedule.for_network(16, 2), share=0.0)
+        with pytest.raises(ValueError):
+            SubScheduleSpec(Schedule.for_network(16, 2), share=1.5)
+
+    def test_shares_must_sum_to_one(self):
+        specs = [
+            SubScheduleSpec(Schedule.for_network(16, 2), share=0.3),
+            SubScheduleSpec(Schedule.for_network(16, 4), share=0.3),
+        ]
+        with pytest.raises(ValueError, match="sum to 1"):
+            InterleavedSchedule(specs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            InterleavedSchedule([])
+
+    def test_zero_slot_share_rejected(self):
+        specs = [
+            SubScheduleSpec(Schedule.for_network(16, 2), share=0.999),
+            SubScheduleSpec(Schedule.for_network(16, 4), share=0.001),
+        ]
+        with pytest.raises(ValueError, match="zero slots"):
+            InterleavedSchedule(specs, resolution=100)
+
+
+class TestPattern:
+    def test_pattern_counts_match_shares(self):
+        inter = InterleavedSchedule(make_specs(0.2), resolution=100)
+        assert inter.pattern_counts == [20, 80]
+
+    def test_pattern_is_spread_not_blocked(self):
+        """Bresenham spread: a 50% share alternates, not 50-then-50."""
+        inter = InterleavedSchedule(make_specs(0.5), resolution=10)
+        assert inter.pattern != [0] * 5 + [1] * 5
+        # no run of the same owner longer than 2 at 50/50
+        runs = 1
+        longest = 1
+        for a, b in zip(inter.pattern, inter.pattern[1:]):
+            runs = runs + 1 if a == b else 1
+            longest = max(longest, runs)
+        assert longest <= 2
+
+    def test_owner_matches_pattern(self):
+        inter = InterleavedSchedule(make_specs(0.3), resolution=10)
+        for t in range(30):
+            assert inter.owner(t) == inter.pattern[t % 10]
+
+    def test_sub_timeslots_are_consecutive(self):
+        """Each sub-schedule sees its own clock tick 0,1,2,... on the master
+        slots it owns."""
+        inter = InterleavedSchedule(make_specs(0.4), resolution=10)
+        next_expected = [0, 0]
+        for t in range(100):
+            owner, sub_t = inter.sub_timeslot(t)
+            assert sub_t == next_expected[owner]
+            next_expected[owner] += 1
+
+
+class TestClassification:
+    def test_short_flows_to_latency_class(self):
+        inter = InterleavedSchedule(make_specs(0.5, cutoff=100))
+        assert inter.classify_flow(50) == 0
+        assert inter.classify_flow(100) == 0
+
+    def test_long_flows_to_bulk_class(self):
+        inter = InterleavedSchedule(make_specs(0.5, cutoff=100))
+        assert inter.classify_flow(101) == 1
+
+    def test_unbounded_last_class_catches_all(self):
+        inter = InterleavedSchedule(make_specs(0.5, cutoff=100))
+        assert inter.classify_flow(10**9) == 1
+
+
+class TestPerformanceModel:
+    def test_dilated_epoch_length(self):
+        """Half the slots -> twice the epoch (paper Section 3.2.2)."""
+        inter = InterleavedSchedule(make_specs(0.5))
+        e4 = Schedule.for_network(16, 4).epoch_length
+        assert inter.effective_epoch_length(0) == pytest.approx(2 * e4)
+
+    def test_diluted_throughput(self):
+        inter = InterleavedSchedule(make_specs(0.5))
+        assert inter.effective_throughput(0) == pytest.approx(0.5 / 8)
+        assert inter.effective_throughput(1) == pytest.approx(0.5 / 4)
+
+    def test_total_throughput_exceeds_pure_latency_schedule(self):
+        """Paper: interleaving beats the low-latency schedule in isolation."""
+        inter = InterleavedSchedule(make_specs(0.5))
+        pure_h4 = Schedule.for_network(16, 4).throughput_guarantee()
+        assert inter.total_throughput() > pure_h4
+
+    def test_intrinsic_latency_dilation(self):
+        inter = InterleavedSchedule(make_specs(0.5))
+        assert inter.max_intrinsic_latency(0) == pytest.approx(
+            2 * inter.effective_epoch_length(0)
+        )
+
+
+class TestTwoClassHelper:
+    def test_endpoints_collapse_to_single_schedule(self):
+        assert len(two_class_interleave(16, 2, 4, s=0.0).specs) == 1
+        assert len(two_class_interleave(16, 2, 4, s=1.0).specs) == 1
+
+    def test_mixed(self):
+        inter = two_class_interleave(16, 2, 4, s=0.2, cutoff_cells=64)
+        assert len(inter.specs) == 2
+        assert inter.specs[0].schedule.h == 4
+        assert inter.specs[1].schedule.h == 2
+
+    def test_invalid_s(self):
+        with pytest.raises(ValueError):
+            two_class_interleave(16, 2, 4, s=1.2)

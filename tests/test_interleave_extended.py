@@ -1,0 +1,115 @@
+"""Extended interleaving tests: h=1&4 (Fig. 9 left panel), three classes,
+and the optimal-share helper used for provisioning."""
+
+import pytest
+
+from repro.core.demand_aware import optimal_latency_share
+from repro.core.interleave import (
+    InterleavedSchedule,
+    SubScheduleSpec,
+    two_class_interleave,
+)
+from repro.core.schedule import Schedule
+from repro.sim.config import SimConfig
+from repro.sim.multiclass import MultiClassSimulation
+
+
+class TestH1H4Interleave:
+    """Fig. 9's left panel interleaves the SRRD (h=1) with h=4."""
+
+    def test_construction(self):
+        inter = two_class_interleave(16, h_bulk=1, h_latency=4, s=0.2,
+                                     cutoff_cells=40)
+        assert inter.specs[0].schedule.h == 4
+        assert inter.specs[1].schedule.h == 1
+        # combined guarantee: 0.8 * 0.5 + 0.2 * 0.125
+        assert inter.total_throughput() == pytest.approx(0.425)
+
+    def test_simulation_both_classes_complete(self):
+        inter = two_class_interleave(16, 1, 4, s=0.5, cutoff_cells=40)
+        base = SimConfig(
+            n=16, h=1, duration=8000, propagation_delay=2,
+            congestion_control="hbh+spray", seed=12,
+        )
+        sim = MultiClassSimulation(inter, base, workload=[
+            (0, 0, 15, 10, 2440),     # short -> h=4 class
+            (0, 1, 14, 300, 73_200),  # long  -> h=1 (SRRD) class
+        ])
+        sim.run(8000)
+        sim.run_until_quiescent(max_extra=200_000)
+        by_class = sim.completed_by_class()
+        assert len(by_class[0]) == 1
+        assert len(by_class[1]) == 1
+
+    def test_srrd_class_has_long_epoch(self):
+        inter = two_class_interleave(16, 1, 4, s=0.5, cutoff_cells=40)
+        # SRRD epoch is 15 slots; at half share it takes ~30 master slots
+        assert inter.effective_epoch_length(1) == pytest.approx(30.0)
+
+
+class TestThreeClassInterleave:
+    def make(self):
+        return InterleavedSchedule(
+            [
+                SubScheduleSpec(Schedule.for_network(16, 4), 0.2,
+                                name="ultra-low-latency", max_flow_size=8),
+                SubScheduleSpec(Schedule.for_network(16, 2), 0.3,
+                                name="low-latency", max_flow_size=100),
+                SubScheduleSpec(Schedule.for_network(16, 1), 0.5,
+                                name="bulk"),
+            ],
+            resolution=100,
+        )
+
+    def test_pattern_counts(self):
+        inter = self.make()
+        assert inter.pattern_counts == [20, 30, 50]
+
+    def test_classification_cascade(self):
+        inter = self.make()
+        assert inter.classify_flow(5) == 0
+        assert inter.classify_flow(50) == 1
+        assert inter.classify_flow(5000) == 2
+
+    def test_sub_clocks_contiguous(self):
+        inter = self.make()
+        counters = [0, 0, 0]
+        for t in range(300):
+            owner, sub_t = inter.sub_timeslot(t)
+            assert sub_t == counters[owner]
+            counters[owner] += 1
+        assert counters == [60, 90, 150]
+
+    def test_three_class_simulation(self):
+        inter = self.make()
+        base = SimConfig(
+            n=16, h=2, duration=10_000, propagation_delay=2,
+            congestion_control="hbh+spray", seed=21,
+        )
+        sim = MultiClassSimulation(inter, base, workload=[
+            (0, 0, 15, 4, 976),
+            (0, 1, 14, 50, 12_200),
+            (0, 2, 13, 400, 97_600),
+        ])
+        sim.run(10_000)
+        sim.run_until_quiescent(max_extra=300_000)
+        by_class = sim.completed_by_class()
+        assert all(len(by_class[i]) == 1 for i in range(3))
+
+    def test_total_throughput_sums(self):
+        inter = self.make()
+        expected = 0.2 / 8 + 0.3 / 4 + 0.5 / 2
+        assert inter.total_throughput() == pytest.approx(expected)
+
+
+class TestShareProvisioning:
+    def test_optimal_share_feeds_interleave(self):
+        """End to end: measure a load split, compute s, build the
+        interleave, confirm equalised headroom."""
+        short_load, bulk_load = 0.02, 0.2
+        s = optimal_latency_share(short_load, bulk_load, h_bulk=2,
+                                  h_latency=4)
+        inter = two_class_interleave(16, 2, 4, s=s, cutoff_cells=40)
+        headroom_latency = inter.effective_throughput(0) / short_load
+        headroom_bulk = inter.effective_throughput(1) / bulk_load
+        assert headroom_latency == pytest.approx(headroom_bulk)

@@ -1,0 +1,105 @@
+"""Tests for the multi-lane schedule and the PIEO hardware timing model."""
+
+import pytest
+
+from repro.core.lanes import LaneSchedule
+from repro.core.schedule import Schedule
+from repro.hardware.pieo_hw import PieoHardwareModel
+from repro.sim.config import PAPER_TIMING
+
+
+class TestLaneSchedule:
+    def make(self, n=81, h=2, lanes=8):
+        return LaneSchedule(Schedule.for_network(n, h), lanes=lanes)
+
+    def test_validation(self):
+        schedule = Schedule.for_network(9, 2)  # epoch length 4
+        with pytest.raises(ValueError):
+            LaneSchedule(schedule, lanes=0)
+        with pytest.raises(ValueError):
+            LaneSchedule(schedule, lanes=5)  # more lanes than epoch slots
+
+    def test_micro_slot_mapping(self):
+        lanes = self.make()
+        assert lanes.micro_to_lane_slot(0) == (0, 0)
+        assert lanes.micro_to_lane_slot(7) == (7, 0)
+        assert lanes.micro_to_lane_slot(8) == (0, 1)
+        assert lanes.micro_slots_per_slot() == 8
+        with pytest.raises(ValueError):
+            lanes.micro_to_lane_slot(-1)
+
+    def test_lane_slot_staggering(self):
+        lanes = self.make()
+        assert lanes.lane_slot_of(0, 10) == 10
+        assert lanes.lane_slot_of(3, 10) == 13
+        with pytest.raises(ValueError):
+            lanes.lane_slot_of(8, 0)
+
+    def test_peers_are_distinct_at_every_instant(self):
+        """The design property: each lane talks to a different neighbour."""
+        lanes = self.make()
+        for t in range(lanes.schedule.epoch_length * 2):
+            for node in (0, 40, 80):
+                assert lanes.peers_distinct(node, t)
+
+    def test_aggregate_bandwidth(self):
+        lanes = self.make()
+        assert lanes.aggregate_cells_per_slot() == 8
+        assert lanes.effective_slot_fraction() == pytest.approx(0.125)
+
+    def test_paper_micro_slot_period(self):
+        """8 lanes over a 45.056 ns slot -> a new slot every 5.632 ns."""
+        lanes = self.make()
+        micro_ns = PAPER_TIMING.slot_ns * lanes.effective_slot_fraction()
+        assert micro_ns == pytest.approx(5.632)
+
+    def test_send_target_matches_base_schedule(self):
+        lanes = self.make()
+        base = lanes.schedule
+        for t in range(6):
+            assert lanes.send_target(5, 0, t) == base.send_target(5, t)
+            assert lanes.send_target(5, 2, t) == base.send_target(5, t + 2)
+
+
+class TestPieoHardwareModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PieoHardwareModel(queues=0, depth=4)
+        with pytest.raises(ValueError):
+            PieoHardwareModel(queues=1, depth=1, op_cycles=0)
+
+    def test_ops_per_slot(self):
+        model = PieoHardwareModel(queues=198, depth=64)
+        assert model.ops_per_slot(68) == 17
+        assert model.ops_per_slot(4) == 1
+        with pytest.raises(ValueError):
+            model.ops_per_slot(0)
+
+    def test_68_cycle_slot_supports_rx_and_tx(self):
+        """The Fig. 8 configuration: 68-cycle slots easily fit both paths."""
+        model = PieoHardwareModel(queues=30, depth=32)
+        assert model.supports_timeslot(68, ops_needed=2)
+
+    def test_four_cycle_slot_needs_two_modules(self):
+        """Appendix C: four-cycle timeslots need a dedicated module per
+        path."""
+        shared = PieoHardwareModel(queues=30, depth=32, modules=1)
+        dedicated = PieoHardwareModel(queues=30, depth=32, modules=2)
+        assert not shared.supports_timeslot(4, ops_needed=2)
+        assert dedicated.supports_timeslot(4, ops_needed=2)
+        assert dedicated.min_timeslot_cycles(2) == 4
+
+    def test_min_timeslot_ns_at_1ghz(self):
+        """Appendix C: ~1 GHz ASICs comfortably support 5.632 ns slots."""
+        model = PieoHardwareModel(
+            queues=198, depth=64, modules=2, clock_mhz=1000.0
+        )
+        assert model.min_timeslot_ns(2) <= 5.632
+
+    def test_encoder_sharing_saves_area(self):
+        """Section 4.3: multiplexing one encoder set across queues beats
+        per-queue replication."""
+        model = PieoHardwareModel(queues=198, depth=64)
+        assert model.encoder_sets() == 1
+        assert model.mux_inputs() == 198
+        assert model.area_cost_proxy() < model.naive_area_cost_proxy() / 40

@@ -1,0 +1,116 @@
+"""Tests for the latency decomposition analysis."""
+
+import pytest
+
+from repro.analysis.latency import (
+    LatencyBreakdown,
+    decompose_run,
+    decompose_trace,
+)
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine
+from repro.sim.trace import CellTracer
+from repro.workloads.generators import (
+    poisson_workload,
+    single_flow_workload,
+)
+from repro.workloads.distributions import ShortFlowDistribution
+
+
+def traced_run(cc="hbh+spray", delay=4, load=None, cells=None, duration=4000):
+    cfg = SimConfig(
+        n=16, h=2, duration=duration, propagation_delay=delay,
+        congestion_control=cc, seed=6,
+    )
+    engine = Engine(cfg)
+    tracer = CellTracer.attach(engine)
+    if cells is not None:
+        engine.schedule_flows(single_flow_workload(0, 15, cells))
+    if load is not None:
+        engine.schedule_flows(
+            poisson_workload(cfg, ShortFlowDistribution(scale=0.1), load=load)
+        )
+    engine.run_until_quiescent(max_extra=200_000)
+    return engine, tracer
+
+
+class TestBreakdown:
+    def test_components_must_sum(self):
+        with pytest.raises(ValueError):
+            LatencyBreakdown(total=10, propagation=5, intrinsic=3, queueing=3)
+
+    def test_uncongested_cells_have_no_queueing(self):
+        """A lone flow's first cell experiences no queueing delay at all."""
+        engine, tracer = traced_run(cells=1)
+        trace = tracer.completed()[0]
+        breakdown = decompose_trace(
+            trace, engine.schedule, engine.config.propagation_delay
+        )
+        assert breakdown.queueing == 0
+        assert breakdown.propagation == len(trace.hops) * 4
+        assert breakdown.total == breakdown.propagation + breakdown.intrinsic
+
+    def test_intrinsic_bounded_per_hop(self):
+        """Each hop waits less than one epoch for its slot, so the schedule
+        component is bounded by hops x E (with propagation delay shifting
+        alignment between hops)."""
+        engine, tracer = traced_run(cells=30)
+        epoch = engine.schedule.epoch_length
+        for trace in tracer.completed():
+            breakdown = decompose_trace(trace, engine.schedule, 4)
+            assert 0 <= breakdown.intrinsic <= len(trace.hops) * epoch
+
+    def test_zero_delay_meets_paper_intrinsic_bound(self):
+        """With no propagation delay the paper's 2h(r-1) intrinsic bound
+        applies exactly."""
+        engine, tracer = traced_run(cells=30, delay=0)
+        bound = engine.schedule.max_intrinsic_latency()
+        for trace in tracer.completed():
+            breakdown = decompose_trace(trace, engine.schedule, 0)
+            assert 0 <= breakdown.intrinsic <= bound
+
+    def test_queueing_nonnegative(self):
+        engine, tracer = traced_run(load=0.15, duration=3000)
+        for trace in tracer.completed():
+            breakdown = decompose_trace(trace, engine.schedule, 4)
+            assert breakdown.queueing >= 0
+
+    def test_undelivered_rejected(self):
+        engine, tracer = traced_run(cells=1)
+        trace = tracer.completed()[0]
+        trace.delivered_at = None
+        with pytest.raises(ValueError):
+            decompose_trace(trace, engine.schedule, 4)
+
+
+class TestRunStats:
+    def test_aggregation(self):
+        engine, tracer = traced_run(load=0.15, duration=3000)
+        stats = decompose_run(
+            tracer.completed(), engine.schedule,
+            engine.config.propagation_delay,
+        )
+        assert stats.cells > 0
+        assert stats.mean_total == pytest.approx(
+            stats.mean_propagation + stats.mean_intrinsic
+            + stats.mean_queueing
+        )
+        assert 0.0 <= stats.queueing_fraction() <= 1.0
+        assert stats.intrinsic_bound == engine.schedule.max_intrinsic_latency()
+
+    def test_empty(self):
+        from repro.core.schedule import Schedule
+
+        stats = decompose_run([], Schedule.for_network(16, 2), 4)
+        assert stats.cells == 0
+        assert stats.queueing_fraction() == 0.0
+
+    def test_congestion_control_reduces_queueing(self):
+        """The paper's headline: HBH+spray keeps realised latency near the
+        intrinsic floor; none lets queueing dominate."""
+        fractions = {}
+        for cc in ("none", "hbh+spray"):
+            engine, tracer = traced_run(cc=cc, load=0.2, duration=6000)
+            stats = decompose_run(tracer.completed(), engine.schedule, 4)
+            fractions[cc] = stats.mean_queueing
+        assert fractions["hbh+spray"] <= fractions["none"]

@@ -1,0 +1,57 @@
+"""Tests for the multiprocess sweep helper."""
+
+import pytest
+
+from repro.sim.parallel import default_workers, sweep
+
+
+def square(x):
+    return x * x
+
+
+def combine(a, b=10):
+    return a + b
+
+
+class TestSweep:
+    def test_sequential(self):
+        grid = [{"x": i} for i in range(5)]
+        assert sweep(square, grid, workers=1) == [0, 1, 4, 9, 16]
+
+    def test_parallel_matches_sequential(self):
+        grid = [{"x": i} for i in range(8)]
+        assert sweep(square, grid, workers=3) == sweep(square, grid, workers=1)
+
+    def test_order_preserved(self):
+        grid = [{"a": i, "b": 100 - i} for i in range(6)]
+        assert sweep(combine, grid, workers=2) == [100] * 6
+
+    def test_empty_grid(self):
+        assert sweep(square, [], workers=4) == []
+
+    def test_single_cell_runs_inline(self):
+        assert sweep(square, [{"x": 7}], workers=4) == [49]
+
+    def test_none_workers_sequential(self):
+        assert sweep(square, [{"x": 2}], workers=None) == [4]
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+        assert default_workers(cap=2) <= 2
+
+
+class TestExperimentParallelism:
+    def test_fig10_parallel_equals_sequential(self):
+        from repro.experiments import fig10_shortflow
+
+        kwargs = dict(
+            n=16, h_values=(2,), mechanisms=("none", "hbh+spray"),
+            duration=3000, propagation_delay=2, load=0.15,
+        )
+        seq = fig10_shortflow.run(workers=1, **kwargs)
+        par = fig10_shortflow.run(workers=2, **kwargs)
+        for a, b in zip(seq.cells, par.cells):
+            assert a.mechanism == b.mechanism
+            assert a.fct_tail == b.fct_tail
+            assert a.buffer_p9999 == b.buffer_p9999
+            assert a.max_queue == b.max_queue

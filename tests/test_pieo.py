@@ -1,0 +1,124 @@
+"""Unit tests for the PIEO queue."""
+
+import pytest
+
+from repro.sim.pieo import PieoQueue
+
+
+class TestBasics:
+    def test_empty(self):
+        q = PieoQueue()
+        assert len(q) == 0
+        assert not q
+        assert q.extract_head() is None
+        assert q.peek_head() is None
+
+    def test_fifo_order_with_equal_ranks(self):
+        q = PieoQueue()
+        for x in "abc":
+            q.push(x)
+        assert [q.extract_head() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_rank_ordering(self):
+        q = PieoQueue()
+        q.push("low-priority", rank=10)
+        q.push("high-priority", rank=1)
+        assert q.extract_head() == "high-priority"
+
+    def test_stable_among_equal_ranks(self):
+        q = PieoQueue()
+        q.push("first", rank=5)
+        q.push("second", rank=5)
+        q.push("zero", rank=0)
+        assert list(q) == ["zero", "first", "second"]
+
+    def test_len_and_iter(self):
+        q = PieoQueue()
+        q.push(1)
+        q.push(2)
+        assert len(q) == 2
+        assert list(q) == [1, 2]
+
+
+class TestEligibility:
+    def test_extract_first_eligible_skips_blocked(self):
+        q = PieoQueue()
+        q.push("blocked")
+        q.push("ok")
+        got = q.extract_first_eligible(lambda x: x == "ok")
+        assert got == "ok"
+        assert list(q) == ["blocked"]
+
+    def test_extract_none_when_all_blocked(self):
+        q = PieoQueue()
+        q.push("a")
+        assert q.extract_first_eligible(lambda x: False) is None
+        assert len(q) == 1
+
+    def test_first_eligible_peeks_without_removal(self):
+        q = PieoQueue()
+        q.push("a")
+        q.push("b")
+        assert q.first_eligible(lambda x: x == "b") == "b"
+        assert len(q) == 2
+
+    def test_eligibility_respects_rank_order(self):
+        q = PieoQueue()
+        q.push("late", rank=9)
+        q.push("early", rank=1)
+        # both eligible: lowest rank wins
+        assert q.extract_first_eligible(lambda x: True) == "early"
+
+
+class TestCapacity:
+    def test_capacity_enforced(self):
+        q = PieoQueue(capacity=2)
+        q.push(1)
+        q.push(2)
+        with pytest.raises(OverflowError):
+            q.push(3)
+
+    def test_peak_occupancy(self):
+        q = PieoQueue()
+        for i in range(5):
+            q.push(i)
+        for _ in range(5):
+            q.extract_head()
+        q.push(99)
+        assert q.peak_occupancy == 5
+
+
+class TestRemoval:
+    def test_remove_element(self):
+        q = PieoQueue()
+        q.push("a")
+        q.push("b")
+        assert q.remove("a")
+        assert not q.remove("zz")
+        assert list(q) == ["b"]
+
+    def test_remove_if(self):
+        q = PieoQueue()
+        for i in range(6):
+            q.push(i)
+        evens = q.remove_if(lambda x: x % 2 == 0)
+        assert evens == [0, 2, 4]
+        assert list(q) == [1, 3, 5]
+
+    def test_clear(self):
+        q = PieoQueue()
+        q.push(1)
+        q.clear()
+        assert len(q) == 0
+
+    def test_hol_blocking_demonstration(self):
+        """The reason PIEO exists (paper Section 3.3.2 change 2): a FIFO
+        head awaiting tokens blocks everything; PIEO does not."""
+        q = PieoQueue()
+        q.push(("bucket-A", "cell1"))
+        q.push(("bucket-B", "cell2"))
+        eligible = lambda item: item[0] == "bucket-B"
+        # FIFO view: head is blocked
+        assert not eligible(q.peek_head())
+        # PIEO view: the eligible cell still goes out
+        assert q.extract_first_eligible(eligible) == ("bucket-B", "cell2")

@@ -1,0 +1,166 @@
+"""Unit tests for Shale's VLB routing scheme."""
+
+import random
+
+import pytest
+
+from repro.core.coordinates import CoordinateSystem
+from repro.core.routing import Router, direct_semi_path
+from repro.core.schedule import Schedule
+
+
+@pytest.fixture
+def router27():
+    return Router(Schedule.for_network(27, 3), rng=random.Random(42))
+
+
+@pytest.fixture
+def router16():
+    return Router(Schedule.for_network(16, 2), rng=random.Random(42))
+
+
+class TestSprayHops:
+    def test_spray_options_are_phase_neighbors(self, router16):
+        cs = router16.coords
+        for phase in range(2):
+            assert set(router16.spray_options(5, phase)) == set(
+                cs.phase_neighbors(5, phase)
+            )
+
+    def test_spray_hop_stays_in_phase(self, router16):
+        cs = router16.coords
+        for _ in range(50):
+            hop = router16.spray_hop(5, 1)
+            assert hop in cs.phase_neighbors(5, 1)
+
+    def test_spray_hop_covers_all_options(self, router16):
+        seen = {router16.spray_hop(0, 0) for _ in range(200)}
+        assert seen == set(router16.spray_options(0, 0))
+
+
+class TestDirectHops:
+    def test_direct_hop_fixes_coordinate(self, router27):
+        cs = router27.coords
+        src = cs.node_id((0, 1, 2))
+        dst = cs.node_id((2, 1, 0))
+        hop = router27.direct_hop(src, dst, 0)
+        assert cs.coordinate(hop, 0) == 2
+        assert cs.coordinate(hop, 1) == 1
+        assert cs.coordinate(hop, 2) == 2
+
+    def test_direct_hop_none_when_matching(self, router27):
+        cs = router27.coords
+        src = cs.node_id((0, 1, 2))
+        dst = cs.node_id((2, 1, 0))
+        assert router27.direct_hop(src, dst, 1) is None
+
+    def test_next_direct_phase_cycles(self, router27):
+        cs = router27.coords
+        src = cs.node_id((0, 0, 1))
+        dst = cs.node_id((0, 0, 2))
+        # only phase 2 mismatches, regardless of the starting phase
+        for start in range(3):
+            assert router27.next_direct_phase(src, dst, start) == 2
+
+    def test_next_direct_phase_none_at_destination(self, router27):
+        assert router27.next_direct_phase(5, 5, 0) is None
+
+
+class TestFullPaths:
+    @pytest.mark.parametrize("start_phase", [0, 1, 2])
+    def test_sample_path_reaches_destination(self, router27, start_phase):
+        for src in (0, 13):
+            for dst in (26, 1):
+                if src == dst:
+                    continue
+                path = router27.sample_path(src, dst, start_phase)
+                assert path[0] == src
+                assert path[-1] == dst
+
+    def test_sample_path_hop_bound(self, router27):
+        for _ in range(100):
+            path = router27.sample_path(0, 26)
+            assert len(path) - 1 <= router27.max_path_hops()
+
+    def test_sample_path_consecutive_hops_are_neighbors(self, router16):
+        cs = router16.coords
+        for _ in range(50):
+            path = router16.sample_path(0, 15)
+            for a, b in zip(path, path[1:]):
+                if a != b:
+                    assert b in cs.all_neighbors(a)
+
+    def test_self_path_trivial(self, router16):
+        assert router16.sample_path(3, 3) == [3]
+
+    def test_path_via_lands_on_intermediate(self, router16):
+        cs = router16.coords
+        src, mid, dst = 0, 10, 15
+        path = router16.path_via(src, mid, dst, start_phase=0)
+        # after h hops of the spraying semi-path the cell is at `mid`
+        assert path[router16.h] == mid
+        assert path[-1] == dst
+
+    def test_spray_randomizes_intermediate(self, router16):
+        """VLB property: each spray hop takes one of the r-1 links in its
+        phase uniformly, so the intermediate node is uniform over the
+        (r-1)^h reachable intermediates (all coordinates changed)."""
+        counts = {}
+        trials = 4000
+        for _ in range(trials):
+            path = router16.sample_path(0, 15, start_phase=0)
+            mid = path[router16.h]
+            counts[mid] = counts.get(mid, 0) + 1
+        r, h = router16.r, router16.h
+        assert len(counts) == (r - 1) ** h
+        # no intermediate shares a coordinate with the source (hops move)
+        cs = router16.coords
+        for mid in counts:
+            for p in range(h):
+                assert cs.coordinate(mid, p) != cs.coordinate(0, p)
+        expected = trials / len(counts)
+        for count in counts.values():
+            assert 0.5 * expected < count < 1.6 * expected
+
+
+class TestDirectSemiPath:
+    def test_reaches_destination(self):
+        cs = CoordinateSystem(27, 3)
+        path = direct_semi_path(cs, 0, 26)
+        assert path[0] == 0
+        assert path[-1] == 26
+
+    def test_each_hop_fixes_one_coordinate(self):
+        cs = CoordinateSystem(27, 3)
+        dst = 26
+        path = direct_semi_path(cs, 0, dst)
+        for a, b in zip(path, path[1:]):
+            assert cs.distance(b, dst) == cs.distance(a, dst) - 1
+
+    def test_tree_property(self):
+        """Direct semi-paths into one destination form a tree: each node has
+        a unique next hop toward the destination (for a fixed phase order)."""
+        cs = CoordinateSystem(16, 2)
+        dst = 9
+        next_hop = {}
+        for node in range(16):
+            if node == dst:
+                continue
+            path = direct_semi_path(cs, node, dst, start_phase=0)
+            next_hop[node] = path[1]
+        # following next hops always terminates at dst (no cycles)
+        for node in range(16):
+            if node == dst:
+                continue
+            seen = set()
+            cur = node
+            while cur != dst:
+                assert cur not in seen
+                seen.add(cur)
+                cur = next_hop[cur]
+
+    def test_length_bounded_by_h(self):
+        cs = CoordinateSystem(81, 4)
+        for node in (0, 40, 80):
+            path = direct_semi_path(cs, node, 80)
+            assert len(path) - 1 <= 4

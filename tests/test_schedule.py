@@ -1,0 +1,135 @@
+"""Unit tests for the EBS / Shale connection schedule."""
+
+import pytest
+
+from repro.core.coordinates import CoordinateSystem
+from repro.core.schedule import Schedule, SlotInfo, srrd_schedule
+
+
+@pytest.fixture
+def sched9():
+    """The paper's Fig. 3 network: 9 nodes, h=2, r=3."""
+    return Schedule.for_network(9, 2)
+
+
+class TestStructure:
+    def test_epoch_and_phase_lengths(self, sched9):
+        assert sched9.phase_length == 2
+        assert sched9.epoch_length == 4
+
+    def test_srrd_epoch_is_n_minus_one(self):
+        s = srrd_schedule(6)
+        assert s.h == 1
+        assert s.epoch_length == 5
+
+    def test_slot_info_decoding(self, sched9):
+        info = sched9.slot_info(0)
+        assert (info.epoch, info.phase, info.offset) == (0, 0, 1)
+        info = sched9.slot_info(5)
+        assert (info.epoch, info.phase, info.offset) == (1, 0, 2)
+
+    def test_slot_info_negative_raises(self, sched9):
+        with pytest.raises(ValueError):
+            sched9.slot_info(-1)
+
+    def test_fast_paths_match_slot_info(self, sched9):
+        for t in range(30):
+            info = sched9.slot_info(t)
+            assert sched9.phase_of(t) == info.phase
+            assert sched9.offset_of(t) == info.offset
+
+    def test_slot_info_equality(self):
+        assert SlotInfo(0, 1, 2, 4) == SlotInfo(0, 1, 2, 4)
+        assert SlotInfo(0, 1, 2, 4) != SlotInfo(0, 1, 1, 3)
+
+
+class TestConnections:
+    def test_every_slot_is_a_permutation(self, sched9):
+        for t in range(sched9.epoch_length):
+            matrix = sched9.connection_matrix(t)
+            assert sorted(matrix) == list(range(9))
+            assert all(matrix[x] != x for x in range(9))
+
+    def test_send_recv_are_inverse(self, sched9):
+        for t in range(sched9.epoch_length * 2):
+            for x in range(9):
+                y = sched9.send_target(x, t)
+                assert sched9.recv_source(y, t) == x
+
+    def test_connections_stay_in_phase_group(self, sched9):
+        cs = sched9.coords
+        for t in range(sched9.epoch_length):
+            phase = sched9.phase_of(t)
+            for x in range(9):
+                y = sched9.send_target(x, t)
+                assert y in cs.phase_neighbors(x, phase)
+
+    def test_all_pairs_connected_once_per_epoch(self, sched9):
+        """Every (node, phase-neighbour) ordered pair meets exactly once."""
+        seen = {}
+        for t in range(sched9.epoch_length):
+            for x in range(9):
+                pair = (x, sched9.send_target(x, t))
+                seen[pair] = seen.get(pair, 0) + 1
+        cs = sched9.coords
+        for x in range(9):
+            for p in range(2):
+                for y in cs.phase_neighbors(x, p):
+                    assert seen.get((x, y)) == 1
+
+    def test_schedule_is_periodic(self, sched9):
+        e = sched9.epoch_length
+        for t in range(e):
+            for x in range(9):
+                assert sched9.send_target(x, t) == sched9.send_target(x, t + e)
+
+    def test_srrd_matches_figure_2(self):
+        """Fig. 2: at SRRD timeslot k, node i sends to node i+k (mod N)."""
+        s = srrd_schedule(6)
+        for t in range(5):
+            for x in range(6):
+                assert s.send_target(x, t) == (x + t + 1) % 6
+
+
+class TestQueries:
+    def test_slot_for_neighbors(self, sched9):
+        cs = sched9.coords
+        for x in (0, 4, 8):
+            for p in range(2):
+                for y in cs.phase_neighbors(x, p):
+                    phase, offset = sched9.slot_for(x, y)
+                    assert phase == p
+                    assert cs.neighbor_at_offset(x, phase, offset) == y
+
+    def test_slot_for_self_raises(self, sched9):
+        with pytest.raises(ValueError):
+            sched9.slot_for(3, 3)
+
+    def test_next_send_slot_is_correct_and_minimal(self, sched9):
+        for after in range(10):
+            for x in (0, 5):
+                y = sched9.coords.phase_neighbors(x, 1)[0]
+                t = sched9.next_send_slot(x, y, after)
+                assert t >= after
+                assert sched9.send_target(x, t) == y
+                # no earlier slot >= after works
+                for earlier in range(after, t):
+                    assert sched9.send_target(x, earlier) != y
+
+    def test_next_phase_start(self, sched9):
+        assert sched9.next_phase_start(0, 0) == 0
+        assert sched9.next_phase_start(1, 0) == 2
+        assert sched9.next_phase_start(0, 1) == 4
+
+    def test_theory_helpers(self, sched9):
+        assert sched9.max_intrinsic_latency() == 8
+        assert sched9.throughput_guarantee() == 0.25
+
+
+class TestLargerNetworks:
+    @pytest.mark.parametrize("n,h", [(16, 2), (16, 4), (64, 2), (64, 3), (27, 3)])
+    def test_permutation_property_scales(self, n, h):
+        s = Schedule.for_network(n, h)
+        for t in (0, s.epoch_length // 2, s.epoch_length - 1):
+            matrix = s.connection_matrix(t)
+            assert sorted(matrix) == list(range(n))

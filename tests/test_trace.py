@@ -1,0 +1,135 @@
+"""Tests for cell-path tracing and the VLB path validator.
+
+The headline test here is the strongest integration check in the suite:
+run full simulations under several congestion-control mechanisms and verify
+that *every single delivered cell* followed a legal Shale path — correct
+schedule slots, a spraying semi-path over consecutive phases, then a direct
+semi-path making monotone progress to the destination.
+"""
+
+import pytest
+
+from repro.failures.manager import FailureManager
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine
+from repro.sim.trace import CellTracer, TraceError, validate_trace
+from repro.workloads.generators import (
+    permutation_workload,
+    poisson_workload,
+    single_flow_workload,
+)
+from repro.workloads.distributions import ShortFlowDistribution
+
+
+def traced_engine(cc="none", n=16, h=2, duration=3000, delay=3, **kw):
+    cfg = SimConfig(
+        n=n, h=h, duration=duration, propagation_delay=delay,
+        congestion_control=cc, seed=9, **kw
+    )
+    engine = Engine(cfg)
+    tracer = CellTracer.attach(engine)
+    return engine, tracer
+
+
+class TestTracerMechanics:
+    def test_traces_recorded_per_cell(self):
+        engine, tracer = traced_engine()
+        engine.schedule_flows(single_flow_workload(0, 15, 5))
+        engine.run_until_quiescent(max_extra=50_000)
+        assert len(tracer.completed()) == 5
+        assert not tracer.in_flight()
+
+    def test_trace_lookup(self):
+        engine, tracer = traced_engine()
+        engine.schedule_flows(single_flow_workload(0, 15, 3))
+        engine.run_until_quiescent(max_extra=50_000)
+        trace = tracer.trace(0, 0)
+        assert trace is not None
+        assert trace.path[0] == 0
+        assert trace.path[-1] == 15
+
+    def test_hop_histogram_bounded(self):
+        engine, tracer = traced_engine(h=2)
+        engine.schedule_flows(single_flow_workload(0, 15, 50))
+        engine.run_until_quiescent(max_extra=50_000)
+        hist = tracer.hop_count_histogram()
+        assert hist
+        assert max(hist) <= 4  # 2h
+        assert min(hist) >= 2  # spray semi-path always takes h hops
+
+    def test_dummy_cells_not_traced(self):
+        engine, tracer = traced_engine(cc="hop-by-hop")
+        engine.schedule_flows(single_flow_workload(0, 15, 5))
+        engine.run_until_quiescent(max_extra=50_000)
+        # only the 5 payload cells appear
+        assert len(tracer.completed()) + len(tracer.in_flight()) == 5
+
+
+class TestPathValidation:
+    @pytest.mark.parametrize("cc", ["none", "priority", "spray-short",
+                                    "hop-by-hop", "hbh+spray"])
+    @pytest.mark.parametrize("h", [1, 2, 4])
+    def test_every_delivered_cell_took_a_legal_path(self, cc, h):
+        engine, tracer = traced_engine(cc=cc, h=h, duration=2500)
+        engine.schedule_flows(
+            poisson_workload(
+                engine.config, ShortFlowDistribution(scale=0.1), load=0.15
+            )
+        )
+        engine.run_until_quiescent(max_extra=100_000)
+        completed = tracer.completed()
+        assert completed, "no cells delivered"
+        for trace in completed:
+            validate_trace(trace, engine.schedule)
+
+    def test_validator_rejects_tampered_path(self):
+        engine, tracer = traced_engine()
+        engine.schedule_flows(single_flow_workload(0, 15, 1))
+        engine.run_until_quiescent(max_extra=50_000)
+        trace = tracer.completed()[0]
+        # corrupt one hop's receiver
+        t, sender, receiver, sprays = trace.hops[0]
+        trace.hops[0] = (t, sender, (receiver + 1) % 16, sprays)
+        with pytest.raises(TraceError):
+            validate_trace(trace, engine.schedule)
+
+    def test_validator_rejects_undelivered(self):
+        engine, tracer = traced_engine()
+        engine.schedule_flows(single_flow_workload(0, 15, 1))
+        engine.run(10)  # not enough to deliver
+        in_flight = tracer.in_flight()
+        if in_flight:
+            with pytest.raises(TraceError):
+                validate_trace(in_flight[0], engine.schedule)
+
+    def test_validator_rejects_wrong_endpoint(self):
+        engine, tracer = traced_engine()
+        engine.schedule_flows(single_flow_workload(0, 15, 1))
+        engine.run_until_quiescent(max_extra=50_000)
+        trace = tracer.completed()[0]
+        trace.dst = 7  # claim a different destination
+        with pytest.raises(TraceError):
+            validate_trace(trace, engine.schedule)
+
+
+class TestTracingUnderFailures:
+    def test_rerouted_cells_marked_and_still_connected(self):
+        cfg = SimConfig(
+            n=16, h=2, duration=6000, propagation_delay=2,
+            congestion_control="hbh+spray", seed=9,
+        )
+        manager = FailureManager(failed_nodes=[5])
+        engine = Engine(cfg, failure_manager=manager)
+        tracer = CellTracer.attach(engine)
+        alive = [i for i in range(16) if i != 5]
+        engine.schedule_flows(
+            permutation_workload(cfg, size_cells=100, nodes=alive)
+        )
+        engine.run_until_quiescent(max_extra=200_000)
+        completed = tracer.completed()
+        assert completed
+        for trace in completed:
+            # connectivity is checked even for rerouted cells
+            validate_trace(trace, engine.schedule)
+            # and no hop ever touched the failed node
+            assert 5 not in trace.path

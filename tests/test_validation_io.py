@@ -1,0 +1,128 @@
+"""Tests for the static validators, workload I/O and the runner CLI."""
+
+import random
+
+import pytest
+
+from repro.core.routing import Router
+from repro.core.schedule import Schedule
+from repro.core.validation import (
+    ValidationError,
+    audit,
+    validate_bucket_order,
+    validate_routing_reachability,
+    validate_schedule,
+)
+from repro.experiments.runner import main as runner_main, run_experiment
+from repro.sim.config import SimConfig
+from repro.workloads.distributions import ShortFlowDistribution
+from repro.workloads.generators import poisson_workload
+from repro.workloads.trace_io import (
+    read_workload,
+    workload_from_string,
+    workload_stats,
+    workload_to_string,
+    write_workload,
+)
+
+
+class TestValidators:
+    @pytest.mark.parametrize("n,h", [(9, 2), (16, 2), (8, 3), (16, 4), (6, 1)])
+    def test_schedules_validate_clean(self, n, h):
+        validate_schedule(Schedule.for_network(n, h))
+
+    @pytest.mark.parametrize("n,h", [(9, 2), (16, 2), (8, 3)])
+    def test_routing_reachability(self, n, h):
+        router = Router(Schedule.for_network(n, h), rng=random.Random(0))
+        validate_routing_reachability(router)
+
+    @pytest.mark.parametrize("n,h", [(16, 2), (27, 3)])
+    def test_bucket_order_acyclic(self, n, h):
+        schedule = Schedule.for_network(n, h)
+        for dst in range(min(n, 6)):
+            validate_bucket_order(schedule.coords, dst)
+
+    def test_audit_clean(self):
+        assert audit(16, 2) == []
+
+    def test_audit_reports_bad_configuration(self):
+        assert audit(10, 2)  # 10 is not a perfect square
+
+
+class TestWorkloadIO:
+    def make_workload(self):
+        cfg = SimConfig(n=16, h=2, duration=500)
+        return poisson_workload(cfg, ShortFlowDistribution(), load=0.2,
+                                rng=random.Random(5))
+
+    def test_roundtrip_string(self):
+        wl = self.make_workload()
+        assert workload_from_string(workload_to_string(wl)) == sorted(wl)
+
+    def test_roundtrip_file(self, tmp_path):
+        wl = self.make_workload()
+        path = tmp_path / "wl.csv"
+        count = write_workload(wl, path)
+        assert count == len(wl)
+        assert read_workload(path) == sorted(wl)
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            workload_from_string("a,b,c\n1,2,3\n")
+
+    def test_bad_rows_rejected(self):
+        header = "arrival,src,dst,cells,bytes\n"
+        with pytest.raises(ValueError, match="5 fields"):
+            workload_from_string(header + "1,2,3\n")
+        with pytest.raises(ValueError, match="non-integer"):
+            workload_from_string(header + "1,2,3,x,5\n")
+        with pytest.raises(ValueError, match="src == dst"):
+            workload_from_string(header + "1,2,2,4,5\n")
+        with pytest.raises(ValueError, match="out-of-range"):
+            workload_from_string(header + "1,2,3,0,5\n")
+
+    def test_reader_sorts_by_arrival(self):
+        header = "arrival,src,dst,cells,bytes\n"
+        wl = workload_from_string(header + "9,0,1,1,100\n2,1,2,1,100\n")
+        assert [f[0] for f in wl] == [2, 9]
+
+    def test_stats(self):
+        wl = [(0, 0, 1, 10, 2440), (4, 1, 2, 30, 7320)]
+        stats = workload_stats(wl)
+        assert stats["flows"] == 2
+        assert stats["total_cells"] == 40
+        assert stats["horizon"] == 5
+        assert stats["nodes"] == 3
+
+    def test_stats_empty(self):
+        assert workload_stats([]) == {"flows": 0}
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        assert runner_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "appd" in out
+
+    def test_run_fig01(self, capsys):
+        assert runner_main(["fig01"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_run_with_overrides(self, capsys):
+        assert runner_main(["fig01", "--set", "n=10000"]) == 0
+        assert "N=10,000" in capsys.readouterr().out
+
+    def test_out_directory(self, tmp_path, capsys):
+        assert runner_main(["fig07", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig07.txt").exists()
+
+    def test_unknown_experiment(self, capsys):
+        assert runner_main(["nope"]) == 2
+
+    def test_run_experiment_api(self):
+        report = run_experiment("fig01", {"n": 1024})
+        assert "Figure 1" in report
+
+    def test_run_experiment_unknown(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")

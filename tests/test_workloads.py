@@ -1,0 +1,217 @@
+"""Unit tests for workload distributions and generators."""
+
+import random
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.workloads.distributions import (
+    FLOW_SIZE_BUCKETS,
+    EmpiricalCdf,
+    FixedSizeDistribution,
+    HeavyTailedDistribution,
+    ShortFlowDistribution,
+    UniformSizeDistribution,
+    bucket_label,
+    bucket_of,
+    bytes_to_cells,
+)
+from repro.workloads.generators import (
+    all_to_all_workload,
+    incast_workload,
+    overlaid_permutations_workload,
+    permutation_workload,
+    poisson_workload,
+    single_flow_workload,
+)
+
+
+class TestBuckets:
+    def test_bucket_boundaries(self):
+        assert bucket_of(0) == 0
+        assert bucket_of(4 * 1024) == 0
+        assert bucket_of(4 * 1024 + 1) == 1
+        assert bucket_of(10**9) == len(FLOW_SIZE_BUCKETS)
+
+    def test_labels(self):
+        assert bucket_label(0) == "0-4kB"
+        assert bucket_label(8) == "64MB+"
+
+    def test_bytes_to_cells(self):
+        assert bytes_to_cells(1) == 1
+        assert bytes_to_cells(244) == 1
+        assert bytes_to_cells(245) == 2
+        assert bytes_to_cells(2440) == 10
+
+
+class TestEmpiricalCdf:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(100, 1.0)])  # one point
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(100, 0.5), (50, 1.0)])  # decreasing size
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(100, 0.5), (200, 0.9)])  # doesn't end at 1
+
+    def test_quantile_monotone(self):
+        dist = ShortFlowDistribution()
+        qs = [dist.quantile(u / 100) for u in range(0, 100, 5)]
+        assert qs == sorted(qs)
+
+    def test_quantile_bounds(self):
+        dist = ShortFlowDistribution()
+        with pytest.raises(ValueError):
+            dist.quantile(1.0)
+        with pytest.raises(ValueError):
+            dist.quantile(-0.1)
+
+    def test_samples_within_support(self):
+        rng = random.Random(1)
+        dist = ShortFlowDistribution()
+        for _ in range(500):
+            size = dist.sample(rng)
+            assert 1 <= size <= dist.max_bytes()
+
+    def test_short_flow_cap_is_3mb(self):
+        assert ShortFlowDistribution().max_bytes() == 3_000_000
+
+    def test_heavy_tail_cap_is_1gb(self):
+        assert HeavyTailedDistribution().max_bytes() == 1_000_000_000
+
+    def test_short_flow_mostly_small(self):
+        """Most flows are mice (the defining property of the workload)."""
+        rng = random.Random(2)
+        dist = ShortFlowDistribution()
+        small = sum(dist.sample(rng) <= 10_000 for _ in range(2000))
+        assert small > 1500
+
+    def test_heavy_tail_bytes_in_elephants(self):
+        """Most *bytes* ride large flows in the heavy-tailed workload."""
+        rng = random.Random(3)
+        dist = HeavyTailedDistribution()
+        sizes = [dist.sample(rng) for _ in range(5000)]
+        total = sum(sizes)
+        elephants = sum(s for s in sizes if s > 1_000_000)
+        assert elephants / total > 0.5
+
+    def test_mean_is_plausible(self):
+        """Empirical mean of samples tracks the analytic mean."""
+        rng = random.Random(4)
+        dist = ShortFlowDistribution()
+        n = 20000
+        empirical = sum(dist.sample(rng) for _ in range(n)) / n
+        assert 0.5 * dist.mean_bytes() < empirical < 2.0 * dist.mean_bytes()
+
+
+class TestSimpleDistributions:
+    def test_fixed(self):
+        dist = FixedSizeDistribution(1000)
+        assert dist.sample(random.Random(0)) == 1000
+        assert dist.mean_bytes() == 1000.0
+
+    def test_uniform(self):
+        dist = UniformSizeDistribution(10, 20)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 10 <= dist.sample(rng) <= 20
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            UniformSizeDistribution(20, 10)
+
+    def test_fixed_validation(self):
+        with pytest.raises(ValueError):
+            FixedSizeDistribution(0)
+
+
+@pytest.fixture
+def cfg():
+    return SimConfig(n=16, h=2, duration=5000)
+
+
+class TestPoissonWorkload:
+    def test_sorted_by_arrival(self, cfg):
+        wl = poisson_workload(cfg, ShortFlowDistribution(), load=0.2)
+        arrivals = [f[0] for f in wl]
+        assert arrivals == sorted(arrivals)
+
+    def test_endpoints_valid(self, cfg):
+        wl = poisson_workload(cfg, ShortFlowDistribution(), load=0.2)
+        for _, src, dst, cells, size_bytes in wl:
+            assert 0 <= src < 16
+            assert 0 <= dst < 16
+            assert src != dst
+            assert cells >= 1
+            assert size_bytes >= 1
+
+    def test_load_controls_volume(self, cfg):
+        dist = FixedSizeDistribution(2440)  # 10 cells
+        low = poisson_workload(cfg, dist, load=0.05,
+                               rng=random.Random(1))
+        high = poisson_workload(cfg, dist, load=0.3,
+                                rng=random.Random(1))
+        assert len(high) > 3 * len(low)
+
+    def test_offered_load_close_to_target(self, cfg):
+        dist = FixedSizeDistribution(2440)  # exactly 10 cells
+        wl = poisson_workload(cfg, dist, load=0.25, rng=random.Random(7))
+        total_cells = sum(f[3] for f in wl)
+        offered = total_cells / (cfg.n * cfg.duration)
+        assert 0.2 < offered < 0.3
+
+    def test_invalid_load(self, cfg):
+        with pytest.raises(ValueError):
+            poisson_workload(cfg, ShortFlowDistribution(), load=0.0)
+
+    def test_node_subset(self, cfg):
+        wl = poisson_workload(
+            cfg, ShortFlowDistribution(), load=0.2, nodes=[1, 2, 3]
+        )
+        for _, src, dst, *_rest in wl:
+            assert src in (1, 2, 3)
+            assert dst in (1, 2, 3)
+
+    def test_reproducible_with_seed(self, cfg):
+        a = poisson_workload(cfg, ShortFlowDistribution(), load=0.2,
+                             rng=random.Random(9))
+        b = poisson_workload(cfg, ShortFlowDistribution(), load=0.2,
+                             rng=random.Random(9))
+        assert a == b
+
+
+class TestPermutationWorkloads:
+    def test_permutation_is_derangement(self, cfg):
+        wl = permutation_workload(cfg, size_cells=100)
+        srcs = [f[1] for f in wl]
+        dsts = [f[2] for f in wl]
+        assert sorted(srcs) == list(range(16))
+        assert sorted(dsts) == list(range(16))
+        assert all(s != d for s, d in zip(srcs, dsts))
+
+    def test_overlaid_count(self, cfg):
+        wl = overlaid_permutations_workload(cfg, size_cells=10, count=10)
+        assert len(wl) == 160
+
+    def test_permutation_respects_node_subset(self, cfg):
+        alive = [0, 1, 2, 3, 8, 9]
+        wl = permutation_workload(cfg, size_cells=10, nodes=alive)
+        assert sorted(f[1] for f in wl) == sorted(alive)
+        for _, src, dst, *_rest in wl:
+            assert dst in alive
+
+    def test_incast(self, cfg):
+        wl = incast_workload(cfg, target=0, senders=[1, 2, 3], size_cells=5)
+        assert len(wl) == 3
+        assert all(f[2] == 0 for f in wl)
+
+    def test_incast_target_not_sender(self, cfg):
+        with pytest.raises(ValueError):
+            incast_workload(cfg, target=1, senders=[1, 2], size_cells=5)
+
+    def test_single_flow(self):
+        wl = single_flow_workload(0, 5, 10, arrival=3)
+        assert wl == [(3, 0, 5, 10, 2440)]
+
+    def test_all_to_all(self, cfg):
+        wl = all_to_all_workload(cfg, size_cells=1)
+        assert len(wl) == 16 * 15
