@@ -12,9 +12,10 @@ def test_fig12_failures(benchmark):
         duration=10_000, flow_cells=10_000, permutations=10,
     )
     save_report('fig12', fig12_failures.report(result))
+    assert all(row.conserved for row in result.rows)
     for h in (2, 4):
         tputs = {
-            frac: tput for hh, frac, _c, tput, _b in result.rows if hh == h
+            row.fraction: row.throughput for row in result.rows if row.h == h
         }
         benchmark.extra_info[f"h{h}_tput_0pct"] = round(tputs[0.0], 3)
         benchmark.extra_info[f"h{h}_tput_8pct"] = round(tputs[0.08], 3)

@@ -1,0 +1,27 @@
+"""Bench: Figure 12 variant — throughput under link (not node) failures."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import fig12_failures
+
+
+def test_fig12_link_failures(benchmark):
+    result = run_once(
+        benchmark, fig12_failures.run,
+        n=81, h_values=(2,), failed_fractions=(0.0, 0.04, 0.08),
+        duration=8_000, flow_cells=8_000, permutations=10, mode="links",
+    )
+    save_report('fig12_linkfail', fig12_failures.report(result))
+    # the watchdog must hold on every configuration
+    assert all(row.conserved for row in result.rows)
+    tputs = {row.fraction: row.throughput for row in result.rows}
+    benchmark.extra_info["tput_0pct"] = round(tputs[0.0], 3)
+    benchmark.extra_info["tput_8pct"] = round(tputs[0.08], 3)
+    # link failures never disconnect a destination, so degradation is
+    # milder than the node-failure sweep at the same fraction
+    assert tputs[0.08] > 0.7 * tputs[0.0]
+    for row in result.rows:
+        if row.failed_count:
+            # cell-driven detection reacted within a few epochs
+            assert row.detect_epochs is not None
+            assert row.detect_epochs < 4

@@ -1,22 +1,28 @@
 #!/usr/bin/env python3
-"""Riding through node failures (paper Section 3.4, Appendix A).
+"""Riding through node failures and link flaps (Section 3.4, Appendix A).
 
 Every Shale path crosses many intermediate nodes, so a single failure
 touches all flows.  Shale detects failures from missing cells (every node
 hears from every neighbour once per epoch), spreads the news with
 invalidation tokens riding the hop-by-hop token channel, and re-sprays
-affected cells around the hole.
+affected cells around the hole.  Recovered nodes and links are re-validated
+the same way — from cells actually heard, never from oracle knowledge.
 
-This example fails two nodes *mid-run* while a permutation workload is in
-flight, and shows that (a) every flow between live nodes still completes,
-and (b) throughput degrades roughly in proportion to the failed capacity.
+This example runs three scenarios over the same permutation workload:
+
+1. a failure-free baseline;
+2. two nodes dying *mid-run*;
+3. a link that flaps (fails, then recovers) mid-run, watched by a
+   :class:`RunMonitor` that checks cell conservation every sample window
+   and prints a structured resilience report at the end.
 
 Run:
     python examples/surviving_failures.py
 """
 
 from repro import Engine, SimConfig
-from repro.failures import FailureEvent, FailureManager
+from repro.failures import FailureEvent, FailureManager, LinkFailureEvent
+from repro.sim.monitor import RunMonitor
 from repro.workloads import permutation_workload
 
 N = 81
@@ -24,6 +30,8 @@ H = 2
 DURATION = 30_000
 FAIL_AT = 5_000
 FAILED_NODES = (7, 40)
+FLAP_LINK = (3, 5)          # one-hop neighbours at N=81, h=2
+FLAP_DOWN, FLAP_UP = 5_000, 15_000
 
 
 def main() -> None:
@@ -69,11 +77,48 @@ def main() -> None:
     )
     print(f"  nodes aware of the failure : {learned}/{N - len(FAILED_NODES)}"
           f"  (via detection + invalidation tokens)")
+
+    # --- scenario 3: a link flap, with the run-health watchdog ------------
+    a, b = FLAP_LINK
+    flap_manager = FailureManager(events=[
+        LinkFailureEvent(FLAP_DOWN, a, b),
+        LinkFailureEvent(FLAP_UP, a, b, failed=False),
+    ])
+    full_workload = permutation_workload(config, size_cells=20_000)
+    flap_engine = Engine(
+        config, workload=full_workload, failure_manager=flap_manager
+    )
+    monitor = RunMonitor(strict=True).attach(flap_engine)
+    flap_engine.run()
+    flap_tput = flap_engine.throughput()
+    flap_engine.run_until_quiescent(max_extra=200_000)
+
+    print(f"\nLink flap: {a}<->{b} down at t={FLAP_DOWN}, "
+          f"back at t={FLAP_UP}")
+    print(f"  throughput                 : {flap_tput:.3f} "
+          f"(baseline {base_tput:.3f})")
+    print(f"  flows fully delivered      : "
+          f"{len(flap_engine.flows.completed)}/{len(full_workload)}")
+    detect = [t - FLAP_DOWN for t, _d, _n in flap_manager.detections]
+    revalidate = [t - FLAP_UP for t, _d, _n in flap_manager.undetects]
+    epoch = flap_engine.schedule.epoch_length
+    if detect:
+        print(f"  failure detected after     : {min(detect)} slots "
+              f"({min(detect) / epoch:.1f} epochs), both ends "
+              f"within {max(detect)} slots")
+    if revalidate:
+        print(f"  link re-validated after    : {max(revalidate)} slots "
+              f"({max(revalidate) / epoch:.1f} epochs) — from heard "
+              f"cells, not an oracle")
+
+    print("\n" + monitor.format_report())
     print(
         "\nThroughput declines roughly in proportion to failed capacity"
-        "\n(the Fig. 12 behaviour).  Cells resident at a node when it dies"
-        "\nare lost — as in the paper, recovering them is the job of an"
-        "\nend-to-end transport above Shale, not of the failure protocol."
+        "\n(the Fig. 12 behaviour); a single link flap barely dents it"
+        "\nbecause no destination is disconnected.  Cells resident at a"
+        "\nnode when it dies are lost — as in the paper, recovering them"
+        "\nis the job of an end-to-end transport above Shale — and the"
+        "\nwatchdog proves every cell is still accounted for."
     )
 
 

@@ -103,6 +103,21 @@ class TokenLedger:
         else:
             self._spent[key] = spent - 1
 
+    def reset_neighbor(self, neighbor: int) -> None:
+        """Forget every outstanding charge toward ``neighbor``.
+
+        Used by the failure protocol when a link is declared down: the
+        tokens owed by the silent neighbour will never return, and without
+        this reset the (neighbour, bucket) pairs charged before the failure
+        would stay blocked forever once the link re-validates.  Tokens from
+        the neighbour that are still in flight are harmless afterwards —
+        :meth:`credit` treats a token for an un-charged pair as a no-op.
+        """
+        stale = [key for key in self._spent if key[0] == neighbor]
+        for key in stale:
+            del self._spent[key]
+            self._is_first.pop(key, None)
+
     def outstanding(self) -> int:
         """Total tokens currently spent and awaiting return (diagnostic)."""
         return sum(self._spent.values())

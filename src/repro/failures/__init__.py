@@ -5,12 +5,15 @@ from .direct_tree import (
     direct_next_hop,
     invalidated_destinations,
 )
-from .manager import FailureEvent, FailureManager
+from .injector import FaultInjector
+from .manager import FailureEvent, FailureManager, LinkFailureEvent
 
 __all__ = [
     "DirectPathTree",
     "FailureEvent",
     "FailureManager",
+    "FaultInjector",
+    "LinkFailureEvent",
     "direct_next_hop",
     "invalidated_destinations",
 ]

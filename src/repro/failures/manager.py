@@ -3,39 +3,49 @@
 The protocol has three ingredients:
 
 * **Detection** — every node sends and receives a cell from each neighbour
-  once per epoch, so a missing cell reveals a failed link or node.  Detection
-  is symmetric: once node ``i`` stops hearing from ``j`` it also stops
-  sending to ``j``.
+  once per epoch, so a missing cell reveals a failed link or node.  A node
+  declares a neighbour down after ``detection_epochs`` consecutive missed
+  cells.  Detection is symmetric: once node ``i`` stops hearing from ``j``
+  it also stops sending payload to ``j`` and instead *probes* it once per
+  epoch with a dummy cell carrying a deafness complaint, so a one-way link
+  failure shuts the link down on both sides and a recovered link is
+  re-validated from real cells, never from oracle knowledge.
 
-* **Propagation** — *invalidation tokens* ``{j, n}`` ride the token space of
-  cell headers and tell a neighbour that the sender has no valid route for
-  cells with ``n`` spraying hops remaining towards destination ``j``.
-  Tokens with ``n = 0`` invalidate whole subtrees of the deterministic
-  direct-path tree; tokens with ``n > 0`` steer spraying away from dead ends.
-  *Re-validation tokens* reverse an invalidation when a link recovers.
+* **Propagation** — *invalidation tokens* ride the token space of cell
+  headers.  A route token ``{j, 0}`` tells a neighbour that the sender has
+  no valid direct route towards destination ``j``, invalidating the
+  corresponding subtree of the deterministic direct-path tree; recipients
+  that thereby lose their own last valid route re-announce, so the news
+  floods exactly the affected subtree.  *Re-validation tokens* reverse an
+  invalidation when a link or node recovers.
 
 * **Reaction** — cells whose direct semi-path would traverse a failed
   node/link are reset to fresh spraying hops; spraying hops simply avoid
-  failed or invalidated neighbours.
+  failed or invalidated neighbours; cells whose *final* hop is down are
+  dropped (an end-to-end transport above Shale recovers them).
 
-The :class:`FailureManager` below implements detection exactly (driven by
-per-epoch liveness), and implements propagation with invalidation tokens
-carried in headers.  Where the paper's per-(bucket, neighbour) invalidation
-state machine would explode the state space of a Python simulation, we track
-the *learned failed-node set* per node — each invalidation token teaches its
-recipient which node is unreachable — which reproduces the same routing
-behaviour (avoid sprays into failed nodes; re-spray direct hops around them)
-with the same information-propagation dynamics.  This substitution is
-recorded in DESIGN.md.
+Simulation note (recorded in DESIGN.md): healthy links elide dummy cells,
+so per-slot silence cannot be observed directly.  Silence toward a healthy
+observer only ever *begins* at a failure event, which lets the manager run
+detection from an agenda: when a node or link fails it computes, for every
+affected directed pair (sender → observer), the exact slot at which the
+observer will have missed ``detection_epochs`` consecutive scheduled cells
+(plus propagation delay) and fires the local detection then — equivalent to
+per-slot liveness tracking at a fraction of the cost.  Every *clearing* of
+a marking, by contrast, is purely cell-driven: it happens only when a real
+transmission from the marked neighbour arrives.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Set
+import heapq
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..core.header import TOKEN_INVALIDATE, TOKEN_REVALIDATE, Token
+from ..core.header import TOKEN_INVALIDATE, TOKEN_REGULAR, TOKEN_REVALIDATE, Token
+from ..sim.node import LINK_DEAF, LINK_SILENT, Transmission
 
-__all__ = ["FailureManager", "FailureEvent"]
+__all__ = ["FailureManager", "FailureEvent", "LinkFailureEvent"]
 
 
 class FailureEvent:
@@ -54,42 +64,103 @@ class FailureEvent:
         self.node = node
         self.failed = failed
 
-    def __repr__(self) -> str:  # pragma: no cover
+    def __repr__(self) -> str:
         verb = "fail" if self.failed else "recover"
         return f"FailureEvent({verb} node {self.node} @ {self.t})"
 
 
+class LinkFailureEvent:
+    """A scheduled link failure or recovery between two neighbours.
+
+    Attributes:
+        t: timeslot at which the event takes effect.
+        a, b: the link endpoints (must be one-hop schedule neighbours).
+        failed: True to fail the link, False to recover it.
+        bidirectional: when False only the directed ``a -> b`` wire is
+            affected (``b``'s transmissions still reach ``a``), modelling a
+            one-way fault such as a dead laser.
+    """
+
+    __slots__ = ("t", "a", "b", "failed", "bidirectional")
+
+    def __init__(self, t: int, a: int, b: int, failed: bool = True,
+                 bidirectional: bool = True):
+        self.t = t
+        self.a = a
+        self.b = b
+        self.failed = failed
+        self.bidirectional = bidirectional
+
+    def __repr__(self) -> str:
+        verb = "fail" if self.failed else "recover"
+        arrow = "<->" if self.bidirectional else "->"
+        return f"LinkFailureEvent({verb} link {self.a}{arrow}{self.b} @ {self.t})"
+
+
 class FailureManager:
-    """Injects failures into an engine and runs the invalidation protocol.
+    """Injects failures into an engine and runs the detection/invalidation
+    protocol.
 
     Args:
         failed_nodes: nodes failed from the start of the run.
-        events: optional timed failure/recovery events.
-        detection_epochs: epochs of silence before a neighbour is declared
-            failed (the paper detects within one epoch; raising this models
-            conservative detection against clock skew).
+        events: optional timed :class:`FailureEvent` /
+            :class:`LinkFailureEvent` items.
+        detection_epochs: consecutive missed cells (one per epoch) before a
+            neighbour is declared down.  The paper detects within one epoch;
+            raising this models conservative detection against clock skew.
         propagate: when False, only local (neighbour) detection happens and
-            no invalidation tokens are exchanged — an ablation showing why
-            propagation matters.
+            no route invalidation tokens are exchanged — an ablation showing
+            why propagation matters.  Deafness complaints still flow: they
+            are part of detection, not propagation.
+        failed_links: (a, b) pairs failed bidirectionally from the start.
+        cell_loss_rate: probability that any payload cell is corrupted on
+            the wire (its header — tokens, control messages, the liveness
+            observation — still arrives).  Drawn from a dedicated RNG
+            stream derived from ``SimConfig.seed`` unless ``loss_seed`` is
+            given, so runs are reproducible.
+        loss_seed: optional explicit seed for the wire-loss RNG stream.
     """
 
     def __init__(
         self,
         failed_nodes: Iterable[int] = (),
-        events: Optional[Sequence[FailureEvent]] = None,
+        events: Optional[Sequence[object]] = None,
         detection_epochs: int = 1,
         propagate: bool = True,
+        failed_links: Iterable[Tuple[int, int]] = (),
+        cell_loss_rate: float = 0.0,
+        loss_seed: Optional[object] = None,
     ):
         self.initial_failed: Set[int] = set(failed_nodes)
-        self.events: List[FailureEvent] = sorted(
-            events or [], key=lambda e: e.t
+        self.initial_failed_links: List[Tuple[int, int]] = sorted(
+            (min(a, b), max(a, b)) for a, b in failed_links
         )
+        self.events: List[object] = sorted(events or [], key=lambda e: e.t)
         if detection_epochs < 1:
             raise ValueError("detection takes at least one epoch")
+        if not 0.0 <= cell_loss_rate < 1.0:
+            raise ValueError(f"cell loss rate must be in [0, 1), got {cell_loss_rate}")
         self.detection_epochs = detection_epochs
         self.propagate = propagate
+        self.cell_loss_rate = cell_loss_rate
+        self._loss_seed = loss_seed
+        self._loss_rng: Optional[random.Random] = None
         self._next_event = 0
         self._engine = None
+        # directed pairs (sender, observer) currently silent, mapped to the
+        # slot at which the silence began; guards agenda staleness
+        self._silence: Dict[Tuple[int, int], int] = {}
+        # pending detections: (fire_t, seq, sender, observer, silence_start)
+        self._agenda: List[Tuple[int, int, int, int, int]] = []
+        self._agenda_seq = 0
+        #: (t, detector, neighbour) — neighbour declared down from silence
+        self.detections: List[Tuple[int, int, int]] = []
+        #: (t, recipient, neighbour) — neighbour declared down from a complaint
+        self.deaf_notices: List[Tuple[int, int, int]] = []
+        #: (t, node, neighbour) — neighbour re-validated from heard cells
+        self.undetects: List[Tuple[int, int, int]] = []
+        #: applied fail/recover events with a drop-counter snapshot
+        self.event_log: List[Dict[str, object]] = []
 
     # ------------------------------------------------------------------ #
     # engine lifecycle hooks
@@ -97,55 +168,304 @@ class FailureManager:
     def apply(self, engine) -> None:
         """Install initial failures into a freshly built engine."""
         self._engine = engine
-        for node_id in self.initial_failed:
-            self._fail_node(engine, node_id, t=0)
+        if self._loss_rng is None:
+            seed = self._loss_seed
+            if seed is None:
+                seed = f"{engine.config.seed}:wire-loss"
+            self._loss_rng = random.Random(seed)
+        for a, b in self.initial_failed_links:
+            self._fail_link(engine, a, b, 0, bidirectional=True)
+        for node_id in sorted(self.initial_failed):
+            self._fail_node(engine, node_id, 0)
 
     def advance(self, engine, t: int) -> None:
-        """Apply any timed events due at timeslot ``t``."""
+        """Apply timed events and fire due missed-cell detections."""
         events = self.events
         while self._next_event < len(events) and events[self._next_event].t <= t:
             event = events[self._next_event]
             self._next_event += 1
+            self._apply_event(engine, event, t)
+        agenda = self._agenda
+        while agenda and agenda[0][0] <= t:
+            _, _, sender, observer, start = heapq.heappop(agenda)
+            if self._silence.get((sender, observer)) != start:
+                continue  # healed or rescheduled since; entry is stale
+            node = engine.nodes[observer]
+            if node.failed:
+                continue  # observer died meanwhile; rescheduled on recovery
+            self._mark_link_down(engine, node, sender, t, LINK_SILENT)
+
+    def _apply_event(self, engine, event, t: int) -> None:
+        if isinstance(event, LinkFailureEvent):
+            if event.failed:
+                self._fail_link(engine, event.a, event.b, t, event.bidirectional)
+            else:
+                self._recover_link(engine, event.a, event.b, t, event.bidirectional)
+        else:
             if event.failed:
                 self._fail_node(engine, event.node, t)
             else:
                 self._recover_node(engine, event.node, t)
 
     # ------------------------------------------------------------------ #
+    # the wire model (called from Engine._deliver_arrivals)
+
+    def filter_arrival(self, engine, tx: Transmission, t: int):
+        """Apply failed receivers, failed links and wire noise to ``tx``.
+
+        Returns the (possibly payload-stripped) transmission to deliver, or
+        ``None`` when nothing arrives at all.
+        """
+        cell = tx.cell
+        payload = cell is not None and not cell.dummy
+        if engine.nodes[tx.receiver].failed:
+            if payload:
+                engine.wire_drop(tx)
+            return None
+        if engine.failed_links and (tx.sender, tx.receiver) in engine.failed_links:
+            if payload:
+                engine.wire_drop(tx)
+            return None
+        if payload and self.cell_loss_rate > 0.0 \
+                and self._loss_rng.random() < self.cell_loss_rate:
+            # transient corruption: the payload is lost but the header —
+            # tokens, control messages and the liveness observation — lands
+            engine.wire_drop(tx)
+            return Transmission(tx.sender, tx.receiver, None, tx.tokens, tx.ctrl)
+        return tx
+
+    # ------------------------------------------------------------------ #
     # failure mechanics
+
+    def _require_link(self, engine, a: int, b: int) -> None:
+        if a == b or engine.coords.distance(a, b) != 1:
+            raise ValueError(
+                f"nodes {a} and {b} are not one-hop schedule neighbours"
+            )
+
+    def _log_event(self, engine, t: int, action: str, kind: str,
+                   target: List[object]) -> None:
+        self.event_log.append({
+            "t": t,
+            "action": action,
+            "kind": kind,
+            "target": target,
+            "drops_before": engine.metrics.cells_dropped,
+        })
 
     def _fail_node(self, engine, node_id: int, t: int) -> None:
         node = engine.nodes[node_id]
+        if node.failed:
+            return
         node.failed = True
-        detect_delay = self.detection_epochs * engine.schedule.epoch_length
-        # Symmetric detection: each neighbour notices within a detection
-        # window (one epoch by default — the slot at which it expected a cell)
-        # and stops sending.  We model the window as an average of half an
-        # epoch by scheduling the discovery at t + detect_delay.
+        self._log_event(engine, t, "fail", "node", [node_id])
+        # The node simply goes dark: every neighbour must *notice* the
+        # missing cells for itself.  Cells in the dead node's queues stay
+        # captive until it recovers (they count as queued for conservation).
         for neighbor_id in engine.coords.all_neighbors(node_id):
-            neighbor = engine.nodes[neighbor_id]
-            if neighbor.failed:
-                continue
-            neighbor.failed_neighbors.add(node_id)
-            self._drop_and_requeue(engine, neighbor, node_id, t)
-            if self.propagate:
-                self._broadcast_invalidation(engine, neighbor, node_id)
+            self._begin_silence(engine, node_id, neighbor_id, t)
 
     def _recover_node(self, engine, node_id: int, t: int) -> None:
         node = engine.nodes[node_id]
+        if not node.failed:
+            return
         node.failed = False
+        self._log_event(engine, t, "recover", "node", [node_id])
+        node.reset_for_recovery(t)
         for neighbor_id in engine.coords.all_neighbors(node_id):
-            neighbor = engine.nodes[neighbor_id]
-            neighbor.failed_neighbors.discard(node_id)
-            if self.propagate:
-                self._broadcast_revalidation(engine, neighbor, node_id)
+            if (node_id, neighbor_id) not in engine.failed_links:
+                # our own transmissions flow again; neighbours re-validate
+                # from the cells (or probe replies) they now hear
+                self._silence.pop((node_id, neighbor_id), None)
+            if engine.nodes[neighbor_id].failed \
+                    or (neighbor_id, node_id) in engine.failed_links:
+                # fresh eyes: we start a brand-new detection window for any
+                # neighbour that is still dark toward us
+                self._silence[(neighbor_id, node_id)] = t
+                self._schedule_detection(engine, neighbor_id, node_id, t)
 
-    def _drop_and_requeue(self, engine, node, failed_id: int, t: int) -> None:
+    def _fail_link(self, engine, a: int, b: int, t: int,
+                   bidirectional: bool) -> None:
+        self._require_link(engine, a, b)
+        pairs = ((a, b), (b, a)) if bidirectional else ((a, b),)
+        changed = False
+        for sender, observer in pairs:
+            if (sender, observer) in engine.failed_links:
+                continue
+            changed = True
+            engine.failed_links.add((sender, observer))
+            self._begin_silence(engine, sender, observer, t)
+        if changed:
+            self._log_event(engine, t, "fail", "link",
+                            [a, b, "bi" if bidirectional else "dir"])
+
+    def _recover_link(self, engine, a: int, b: int, t: int,
+                      bidirectional: bool) -> None:
+        self._require_link(engine, a, b)
+        pairs = ((a, b), (b, a)) if bidirectional else ((a, b),)
+        changed = False
+        for sender, observer in pairs:
+            if (sender, observer) not in engine.failed_links:
+                continue
+            changed = True
+            engine.failed_links.discard((sender, observer))
+            if not engine.nodes[sender].failed:
+                # the wire works again; the observer re-validates when the
+                # sender's cells (or probe replies) actually arrive
+                self._silence.pop((sender, observer), None)
+        if changed:
+            self._log_event(engine, t, "recover", "link",
+                            [a, b, "bi" if bidirectional else "dir"])
+
+    # ------------------------------------------------------------------ #
+    # missed-cell detection
+
+    def _begin_silence(self, engine, sender: int, observer: int, t: int) -> None:
+        key = (sender, observer)
+        if key in self._silence:
+            return  # already dark for another (still-active) reason
+        self._silence[key] = t
+        self._schedule_detection(engine, sender, observer, t)
+
+    def _schedule_detection(self, engine, sender: int, observer: int,
+                            start: int) -> None:
+        """Queue the slot at which ``observer`` has missed ``detection_epochs``
+        consecutive cells from ``sender`` (observed after propagation)."""
+        sched = engine.schedule
+        first_missed = sched.next_send_slot(sender, observer, after=start)
+        last_missed = first_missed + (self.detection_epochs - 1) * sched.epoch_length
+        fire = last_missed + engine.config.propagation_delay
+        heapq.heappush(
+            self._agenda,
+            (fire, self._agenda_seq, sender, observer, start),
+        )
+        self._agenda_seq += 1
+
+    def on_contact(self, engine, node, sender: int, t: int,
+                   complaint: bool = False) -> None:
+        """A transmission from ``sender`` arrived at ``node`` — the liveness
+        observation.  Hearing the sender clears a SILENT marking; hearing it
+        without a deafness complaint clears a DEAF marking."""
+        mask = node._fail_cause.get(sender)
+        if mask is None:
+            return
+        if mask & LINK_SILENT:
+            self._silence.pop((sender, node.node_id), None)
+            self._mark_link_up(engine, node, sender, t, LINK_SILENT)
+        if not complaint and node._fail_cause.get(sender, 0) & LINK_DEAF:
+            self._mark_link_up(engine, node, sender, t, LINK_DEAF)
+
+    def _mark_link_down(self, engine, node, neighbor: int, t: int,
+                        cause: int) -> None:
+        mask = node._fail_cause.get(neighbor, 0)
+        if mask & cause:
+            return
+        node._fail_cause[neighbor] = mask | cause
+        if cause == LINK_SILENT:
+            self.detections.append((t, node.node_id, neighbor))
+        else:
+            self.deaf_notices.append((t, node.node_id, neighbor))
+        if mask:
+            return  # already reacting because of the other cause
+        node.failed_neighbors.add(neighbor)
+        self._requeue_link(engine, node, neighbor, t)
+        if node.ledger is not None:
+            # tokens owed by the dead neighbour will never return
+            node.ledger.reset_neighbor(neighbor)
+        if self.propagate:
+            self._reevaluate_routes_down(engine, node, neighbor, t)
+
+    def _mark_link_up(self, engine, node, neighbor: int, t: int,
+                      cause: int) -> None:
+        mask = node._fail_cause.get(neighbor, 0)
+        if not mask & cause:
+            return
+        mask &= ~cause
+        if mask:
+            node._fail_cause[neighbor] = mask
+            return
+        del node._fail_cause[neighbor]
+        node.failed_neighbors.discard(neighbor)
+        self.undetects.append((t, node.node_id, neighbor))
+        if self.propagate:
+            self._reevaluate_routes_up(engine, node, neighbor, t)
+
+    # ------------------------------------------------------------------ #
+    # route (in)validation — the direct-path-tree subtree state
+
+    def _has_valid_direct_route(self, engine, node, dest: int) -> bool:
+        """Does any mismatched-phase direct hop toward ``dest`` survive?"""
+        coords = engine.coords
+        nid = node.node_id
+        for p in range(coords.h):
+            want = coords.coordinate(dest, p)
+            if coords.coordinate(nid, p) == want:
+                continue
+            target = coords.with_coordinate(nid, p, want)
+            if target in node.failed_neighbors:
+                continue
+            if (target, dest) in node.link_invalid:
+                continue
+            return True
+        return False
+
+    def _reevaluate_routes_down(self, engine, node, neighbor: int,
+                                t: int) -> None:
+        """The link to ``neighbor`` died: announce every destination whose
+        last valid direct route ran through it."""
+        coords = engine.coords
+        p = coords.mismatched_phases(node.node_id, neighbor)[0]
+        affected_coord = coords.coordinate(neighbor, p)
+        nid = node.node_id
+        for dest in range(coords.n):
+            if dest == nid:
+                continue
+            if coords.coordinate(dest, p) != affected_coord:
+                continue  # this dest's phase-p hop does not use the link
+            if dest in node.known_failed:
+                continue
+            if not self._has_valid_direct_route(engine, node, dest):
+                self._announce_unreachable(engine, node, dest)
+
+    def _reevaluate_routes_up(self, engine, node, neighbor: int, t: int) -> None:
+        """The link to ``neighbor`` re-validated: withdraw stale
+        announcements and resync route state with the restored peer."""
+        # invalidations learned *from* the neighbour may have been
+        # withdrawn while the link was down — drop them; the peer
+        # re-announces its current set symmetrically
+        stale = [key for key in node.link_invalid if key[0] == neighbor]
+        for key in stale:
+            node.link_invalid.discard(key)
+        for dest in sorted(node.known_failed):
+            if self._has_valid_direct_route(engine, node, dest):
+                self._withdraw_unreachable(engine, node, dest)
+        for dest in sorted(node.known_failed):
+            if dest != neighbor:
+                node._queue_token(neighbor, Token(dest, 0, TOKEN_INVALIDATE))
+
+    def _announce_unreachable(self, engine, node, dest: int) -> None:
+        node.known_failed.add(dest)
+        for neighbor_id in engine.coords.all_neighbors(node.node_id):
+            if neighbor_id == dest or neighbor_id in node.failed_neighbors:
+                continue
+            node._queue_token(neighbor_id, Token(dest, 0, TOKEN_INVALIDATE))
+
+    def _withdraw_unreachable(self, engine, node, dest: int) -> None:
+        node.known_failed.discard(dest)
+        for neighbor_id in engine.coords.all_neighbors(node.node_id):
+            if neighbor_id == dest or neighbor_id in node.failed_neighbors:
+                continue
+            node._queue_token(neighbor_id, Token(dest, 0, TOKEN_REVALIDATE))
+
+    # ------------------------------------------------------------------ #
+    # reaction: requeue / drop affected cells
+
+    def _requeue_link(self, engine, node, failed_id: int, t: int) -> None:
         """Appendix A reaction at the node adjacent to the failure.
 
-        Cells awaiting their final hop to the failed node are dropped; cells
-        on direct semi-paths via it restart their spraying semi-path; cells
-        on spraying hops via it re-spray within the same phase.
+        Cells awaiting their final hop to the failed neighbour are dropped;
+        cells on direct semi-paths via it restart their spraying semi-path;
+        cells on spraying hops via it re-spray within the same phase.
         """
         coords = engine.coords
         h = coords.h
@@ -162,91 +482,157 @@ class FailureManager:
             stranded = queue.remove_if(lambda c: True)
             node.total_enqueued -= len(stranded)
             for cell in stranded:
-                if node.bucket_tracker is not None:
-                    node.bucket_tracker.release((cell.dst, cell.sprays_remaining))
-                node.release_upstream(cell)
-                if engine.tracer is not None:
-                    engine.tracer.on_reroute(cell)
-                if cell.dst == failed_id:
-                    engine.metrics.on_drop()
-                    continue
-                if cell.sprays_remaining == 0:
-                    # direct semi-path via the failure: restart spraying
-                    cell.sprays_remaining = h
-                # re-enqueue as a spraying cell in this same phase
-                cell.spray_phase = phase
-                node.enqueue_forward(cell, t, (phase - 1) % h)
+                self._respray(engine, node, cell, failed_id, phase, t)
 
-    def _broadcast_invalidation(self, engine, node, failed_id: int) -> None:
-        """Queue invalidation tokens about ``failed_id`` to every neighbour."""
-        token = Token(failed_id, 0, TOKEN_INVALIDATE)
-        for neighbor_id in engine.coords.all_neighbors(node.node_id):
-            if neighbor_id == failed_id or engine.nodes[neighbor_id].failed:
-                continue
-            node._queue_token(neighbor_id, Token(token.dest, 0, TOKEN_INVALIDATE))
+    def _requeue_direct_cells(self, engine, node, via: int, dest: int,
+                              t: int) -> None:
+        """A route token invalidated (via, dest): pull the direct cells for
+        ``dest`` off the link to ``via`` and re-spray them."""
+        coords = engine.coords
+        p = coords.mismatched_phases(node.node_id, via)[0]
+        offset = (coords.coordinate(via, p) - coords.coordinate(node.node_id, p)) \
+            % coords.r
+        link = node.link_index(p, offset)
+        stranded = node.link_queues[link].remove_if(
+            lambda c: c.sprays_remaining == 0 and c.dst == dest
+        )
+        node.total_enqueued -= len(stranded)
+        for cell in stranded:
+            self._respray(engine, node, cell, via, p, t)
 
-    def _broadcast_revalidation(self, engine, node, recovered_id: int) -> None:
-        for neighbor_id in engine.coords.all_neighbors(node.node_id):
-            if engine.nodes[neighbor_id].failed:
-                continue
-            node._queue_token(neighbor_id, Token(recovered_id, 0, TOKEN_REVALIDATE))
+    def _respray(self, engine, node, cell, bad_target: int, phase: int,
+                 t: int) -> None:
+        if node.bucket_tracker is not None:
+            node.bucket_tracker.release((cell.dst, cell.sprays_remaining))
+        node.release_upstream(cell)
+        if engine.tracer is not None:
+            engine.tracer.on_reroute(cell)
+        if cell.dst == bad_target:
+            # its final hop is dead: drop (end-to-end recovery's job)
+            engine.metrics.on_drop()
+            return
+        if cell.sprays_remaining == 0:
+            # direct semi-path via the failure: restart spraying
+            cell.sprays_remaining = engine.coords.h
+        cell.spray_phase = phase
+        node.enqueue_forward(cell, t, (phase - 1) % engine.coords.h)
 
     # ------------------------------------------------------------------ #
     # token reception (called from Node.receive via the engine)
 
-    def on_token(self, engine, node, sender: int, token: Token, phase: int) -> None:
-        """Handle an invalidation/re-validation token arriving at ``node``."""
+    def on_token(self, engine, node, sender: int, token: Token,
+                 phase: int) -> None:
+        """Handle a failure-protocol token arriving at ``node``."""
+        t = engine.t
+        if token.kind == TOKEN_REGULAR:
+            return
+        if token.sprays >= 1:
+            # the link-status channel: dest names the complaining sender
+            if token.kind == TOKEN_INVALIDATE and token.dest == sender:
+                self._mark_link_down(engine, node, sender, t, LINK_DEAF)
+            return
+        # route tokens: (in)validation of the direct route to ``dest`` via
+        # the sending neighbour
+        dest = token.dest
+        if dest == node.node_id:
+            return
+        key = (sender, dest)
         if token.kind == TOKEN_INVALIDATE:
-            if token.dest in node.known_failed or token.dest == node.node_id:
+            if key in node.link_invalid:
                 return
-            node.known_failed.add(token.dest)
-            # forward the news (gossip along the token channel) — each node
-            # re-broadcasts once, giving epidemic propagation in O(diameter)
-            # epochs, the same order as the paper's tree-directed flooding.
-            if self.propagate:
-                for neighbor_id in engine.coords.all_neighbors(node.node_id):
-                    if neighbor_id == token.dest or engine.nodes[neighbor_id].failed:
-                        continue
-                    node._queue_token(
-                        neighbor_id, Token(token.dest, 0, TOKEN_INVALIDATE)
-                    )
-            self._reroute_known_failed(engine, node, token.dest)
+            node.link_invalid.add(key)
+            self._requeue_direct_cells(engine, node, sender, dest, t)
+            if self.propagate and dest not in node.known_failed \
+                    and not self._has_valid_direct_route(engine, node, dest):
+                self._announce_unreachable(engine, node, dest)
         elif token.kind == TOKEN_REVALIDATE:
-            if token.dest not in node.known_failed:
+            if key not in node.link_invalid:
                 return
-            node.known_failed.discard(token.dest)
-            if self.propagate:
-                for neighbor_id in engine.coords.all_neighbors(node.node_id):
-                    if engine.nodes[neighbor_id].failed:
-                        continue
-                    node._queue_token(
-                        neighbor_id, Token(token.dest, 0, TOKEN_REVALIDATE)
-                    )
+            node.link_invalid.discard(key)
+            if dest in node.known_failed \
+                    and self._has_valid_direct_route(engine, node, dest):
+                self._withdraw_unreachable(engine, node, dest)
 
-    def _reroute_known_failed(self, engine, node, failed_id: int) -> None:
-        """Re-spray enqueued cells whose chosen next hop is now known-bad."""
-        coords = engine.coords
-        for phase in range(coords.h):
-            mine = coords.coordinate(node.node_id, phase)
-            theirs = coords.coordinate(failed_id, phase)
-            if mine == theirs:
-                continue
-            if coords.with_coordinate(node.node_id, phase, theirs) != failed_id:
-                continue
-            offset = (theirs - mine) % coords.r
-            link = node.link_index(phase, offset)
-            stranded = node.link_queues[link].remove_if(lambda c: True)
-            node.total_enqueued -= len(stranded)
-            for cell in stranded:
-                if node.bucket_tracker is not None:
-                    node.bucket_tracker.release((cell.dst, cell.sprays_remaining))
-                node.release_upstream(cell)
-                if engine.tracer is not None:
-                    engine.tracer.on_reroute(cell)
-                if cell.dst == failed_id:
-                    engine.metrics.on_drop()
-                    continue
-                if cell.sprays_remaining == 0:
-                    cell.sprays_remaining = coords.h
-                cell.spray_phase = phase
-                node.enqueue_forward(cell, engine.t, (phase - 1) % coords.h)
+    # ------------------------------------------------------------------ #
+    # resilience reporting
+
+    def resilience_summary(self) -> Dict[str, object]:
+        """Per-event detection latencies and drop attribution.
+
+        Deterministic for a given seed: ``json.dumps(..., sort_keys=True)``
+        of the result is byte-identical across identical runs.
+        """
+        engine = self._engine
+        epoch = engine.schedule.epoch_length if engine is not None else 1
+        total_drops = engine.metrics.cells_dropped if engine is not None else 0
+        events: List[Dict[str, object]] = []
+        log = self.event_log
+        for i, entry in enumerate(log):
+            out = {
+                "t": entry["t"],
+                "action": entry["action"],
+                "kind": entry["kind"],
+                "target": list(entry["target"]),
+            }
+            # the window closes at the next event touching the same target
+            end = None
+            for later in log[i + 1:]:
+                if later["kind"] == entry["kind"] \
+                        and later["target"] == entry["target"]:
+                    end = later["t"]
+                    break
+            records = self.detections if entry["action"] == "fail" \
+                else self.undetects
+            latencies = self._match_latencies(records, entry, end)
+            out["reactions"] = len(latencies)
+            out["detect_first_slots"] = latencies[0] if latencies else None
+            out["detect_last_slots"] = latencies[-1] if latencies else None
+            out["detect_first_epochs"] = (
+                round(latencies[0] / epoch, 3) if latencies else None
+            )
+            drops_end = log[i + 1]["drops_before"] if i + 1 < len(log) \
+                else total_drops
+            out["drops_after"] = drops_end - entry["drops_before"]
+            events.append(out)
+        return {
+            "events": events,
+            "detections": len(self.detections),
+            "deaf_notices": len(self.deaf_notices),
+            "undetects": len(self.undetects),
+        }
+
+    def _match_latencies(self, records, entry, end: Optional[int]) -> List[int]:
+        """Reaction latencies (slots) attributable to one logged event."""
+        t0 = entry["t"]
+        target = entry["target"]
+        if entry["kind"] == "node":
+            node_id = target[0]
+
+            def matches(detector: int, neighbor: int) -> bool:
+                return neighbor == node_id
+        else:
+            a, b = target[0], target[1]
+            bidirectional = target[2] == "bi"
+
+            def matches(detector: int, neighbor: int) -> bool:
+                if detector == b and neighbor == a:
+                    return True
+                return bidirectional and detector == a and neighbor == b
+        out = [
+            t - t0
+            for t, detector, neighbor in records
+            if t >= t0 and (end is None or t < end) and matches(detector, neighbor)
+        ]
+        out.sort()
+        return out
+
+    def mean_detection_epochs(self) -> Optional[float]:
+        """Mean first-detection latency over fail events, in epochs."""
+        latencies = [
+            e["detect_first_epochs"]
+            for e in self.resilience_summary()["events"]
+            if e["action"] == "fail" and e["detect_first_epochs"] is not None
+        ]
+        if not latencies:
+            return None
+        return round(sum(latencies) / len(latencies), 3)

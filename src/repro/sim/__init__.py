@@ -4,6 +4,7 @@ from .config import PAPER_TIMING, SimConfig, TimingModel
 from .engine import Engine, ScheduledFlow
 from .flows import Flow, FlowRecord, FlowTable
 from .metrics import MetricsCollector, percentile
+from .monitor import ConservationError, RunMonitor
 from .multiclass import MultiClassSimulation
 from .node import ControlMessage, Node, Transmission
 from .parallel import default_workers, sweep
@@ -12,8 +13,10 @@ from .reorder import ReorderBuffer, ReorderTracker
 from .trace import CellTrace, CellTracer, TraceError, validate_trace
 
 __all__ = [
+    "ConservationError",
     "ControlMessage",
     "Engine",
+    "RunMonitor",
     "Flow",
     "FlowRecord",
     "FlowTable",

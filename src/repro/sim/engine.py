@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.coordinates import CoordinateSystem
 from ..core.header import Token
@@ -68,6 +68,14 @@ class Engine:
         self.nodes: List[Node] = [Node(i, self) for i in range(config.n)]
         self.t = 0
         self._in_flight: Deque[Tuple[int, Transmission]] = deque()
+        #: payload (non-dummy) cells currently on the wire — part of the
+        #: cell-conservation invariant and the quiescence condition
+        self._in_flight_payload = 0
+        #: currently failed *directed* links as (sender, receiver) pairs;
+        #: transmissions crossing one are lost on the wire
+        self.failed_links: Set[Tuple[int, int]] = set()
+        #: optional RunMonitor (see repro.sim.monitor) called once per slot
+        self.monitor = None
         self._pending_flows: Deque[ScheduledFlow] = deque()
         if workload is not None:
             self.schedule_flows(workload)
@@ -117,10 +125,17 @@ class Engine:
         return self.metrics
 
     def run_until_quiescent(self, max_extra: int = 1_000_000) -> MetricsCollector:
-        """Keep stepping until every flow completes (or ``max_extra`` slots)."""
+        """Keep stepping until every flow completes (or ``max_extra`` slots).
+
+        Quiescence considers only *payload* traffic: with a failure manager
+        attached, liveness probes keep crossing suspect links forever, so
+        waiting for an empty wire would never terminate.
+        """
         deadline = self.t + max_extra
         while self.t < deadline and (
-            self._pending_flows or self.flows.active_count or self._in_flight
+            self._pending_flows
+            or self.flows.active_count
+            or self._in_flight_payload
         ):
             self.step()
         return self.metrics
@@ -137,18 +152,50 @@ class Engine:
         self._run_tx(t, phase, offset)
         if self.metrics.should_sample(t):
             self._sample_metrics()
+        if self.monitor is not None:
+            self.monitor.on_step_end(self, t)
         self.t = t + 1
 
     def _deliver_arrivals(self, t: int, phase: int) -> None:
         in_flight = self._in_flight
         nodes = self.nodes
+        manager = self.failure_manager
         while in_flight and in_flight[0][0] <= t:
             _, tx = in_flight.popleft()
-            receiver = nodes[tx.receiver]
-            if receiver.failed:
+            cell = tx.cell
+            if cell is not None and not cell.dummy:
+                self._in_flight_payload -= 1
+            if manager is not None:
+                # the wire model: failed receivers, failed links, noise
+                tx = manager.filter_arrival(self, tx, t)
+                if tx is None:
+                    continue
+            elif nodes[tx.receiver].failed:
+                if cell is not None and not cell.dummy:
+                    self.wire_drop(tx)
                 continue
             # the phase the receiver is in *now* determines the next hop
-            receiver.receive(tx, t, self.schedule.phase_of(t))
+            nodes[tx.receiver].receive(tx, t, self.schedule.phase_of(t))
+
+    def wire_drop(self, tx: Transmission) -> None:
+        """Account a payload cell lost on the wire and heal sender credit.
+
+        The sender charged a token for the cell's next-hop bucket when it
+        transmitted (``Node._finish_forward``); the cell will never arrive
+        to return it, so the credit is restored here.  Final-hop cells were
+        never charged.
+        """
+        self.metrics.on_wire_loss()
+        cell = tx.cell
+        sender = self.nodes[tx.sender]
+        if (
+            sender.uses_hbh
+            and not sender.failed
+            and tx.receiver != cell.dst
+        ):
+            # sprays_remaining was already decremented at transmit time, so
+            # it names exactly the bucket that was charged
+            sender.ledger.credit(tx.receiver, (cell.dst, cell.sprays_remaining))
 
     def _run_tx(self, t: int, phase: int, offset: int) -> None:
         arrival = t + self.config.propagation_delay
@@ -156,12 +203,16 @@ class Engine:
         metrics = self.metrics
         tracer = self.tracer
         for node in self.nodes:
-            if node.failed or node.idle:
+            if node.failed:
+                continue
+            if node.idle and not node.failed_neighbors and not node._force_dummy:
                 continue
             tx = node.transmit(t, phase, offset)
             if tx is None:
                 continue
             metrics.on_cell_sent(tx.cell.dummy)
+            if not tx.cell.dummy:
+                self._in_flight_payload += 1
             if tx.tokens:
                 metrics.on_token_sent(len(tx.tokens))
             if tracer is not None and not tx.cell.dummy:

@@ -44,11 +44,13 @@ class MetricsCollector:
         self.sample_interval = max(1, sample_interval)
         self.warmup = warmup
         # exact counters
+        self.cells_injected = 0
         self.cells_delivered = 0
         self.payload_cells_delivered = 0
         self.cells_sent = 0
         self.dummy_cells_sent = 0
         self.cells_dropped = 0
+        self.wire_losses = 0
         self.cells_trimmed = 0
         self.retransmissions = 0
         self.tokens_sent = 0
@@ -73,6 +75,20 @@ class MetricsCollector:
 
     # ------------------------------------------------------------------ #
     # event hooks (hot path — keep them light)
+
+    def on_cell_injected(self, count: int = 1) -> None:
+        """A payload cell entered the network (flow emission or RTX).
+
+        Together with the delivery/drop/trim counters and the queued and
+        in-flight populations this gives the cell-conservation invariant
+        checked by :class:`~repro.sim.monitor.RunMonitor`.
+        """
+        self.cells_injected += count
+
+    def on_wire_loss(self, count: int = 1) -> None:
+        """A payload cell was lost on the wire (failed receiver/link/noise)."""
+        self.cells_dropped += count
+        self.wire_losses += count
 
     def on_cell_sent(self, dummy: bool) -> None:
         self.cells_sent += 1
@@ -168,10 +184,12 @@ class MetricsCollector:
     def summary(self) -> Dict[str, float]:
         """A flat dictionary of headline statistics."""
         return {
+            "cells_injected": float(self.cells_injected),
             "cells_sent": float(self.cells_sent),
             "cells_delivered": float(self.cells_delivered),
             "dummy_cells": float(self.dummy_cells_sent),
             "drops": float(self.cells_dropped),
+            "wire_losses": float(self.wire_losses),
             "trims": float(self.cells_trimmed),
             "retransmissions": float(self.retransmissions),
             "max_queue_length": float(self.max_queue_length),

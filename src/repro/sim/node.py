@@ -21,17 +21,24 @@ from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..core.buckets import ActiveBucketTracker, TokenLedger
 from ..core.cell import Cell
-from ..core.header import TOKEN_REGULAR, Token
+from ..core.header import TOKEN_INVALIDATE, TOKEN_REGULAR, Token
 from .config import SimConfig
 from .flows import Flow
 from .pieo import PieoQueue
 
-__all__ = ["Node", "Transmission", "ControlMessage"]
+__all__ = ["Node", "Transmission", "ControlMessage",
+           "LINK_SILENT", "LINK_DEAF"]
 
 # control message kinds (receiver-driven protocols)
 CTRL_PULL = "pull"
 CTRL_TRIM = "trim"
 CTRL_RTX = "rtx"
+CTRL_PROBE = "probe"
+
+# why a neighbour is marked down in ``Node._fail_cause`` (a bitmask — both
+# causes can hold at once; the link re-validates only when both clear)
+LINK_SILENT = 1  #: we stopped hearing the neighbour (missed-cell detection)
+LINK_DEAF = 2  #: the neighbour told us it stopped hearing *us*
 
 
 class ControlMessage:
@@ -107,6 +114,9 @@ class Node:
         "failed",
         "failed_neighbors",
         "known_failed",
+        "link_invalid",
+        "_fail_cause",
+        "_force_dummy",
         "epoch_length",
         "_recv_counts",
     )
@@ -156,7 +166,17 @@ class Node:
         self.pending_ctrl = 0
         self.failed = False
         self.failed_neighbors: Set[int] = set()
+        #: destinations this node currently has *no valid direct route* to
+        #: (it has announced them unreachable to its neighbours)
         self.known_failed: Set[int] = set()
+        #: (via, dest) pairs invalidated by a neighbour's route token:
+        #: ``via`` announced it cannot reach ``dest`` on the direct-path tree
+        self.link_invalid: Set[Tuple[int, int]] = set()
+        #: neighbour id -> LINK_SILENT/LINK_DEAF bitmask explaining why the
+        #: neighbour sits in ``failed_neighbors``
+        self._fail_cause: Dict[int, int] = {}
+        #: neighbours owed one explicit dummy (a probe reply) even when idle
+        self._force_dummy: Set[int] = set()
         # per-flow delivered counts for PULL pacing at the receiver
         self._recv_counts: Dict[int, int] = {}
 
@@ -205,8 +225,13 @@ class Node:
         """
         neighbor = self.neighbors[phase][offset - 1]
         if neighbor in self.failed_neighbors:
-            return None
+            return self._probe_failed_neighbor(neighbor, phase, offset)
 
+        force = False
+        if self._force_dummy and neighbor in self._force_dummy:
+            # any transmission satisfies the probe reply
+            self._force_dummy.discard(neighbor)
+            force = True
         link = self.link_index(phase, offset)
         cell = self._select_forwarded_cell(link, neighbor)
         if cell is None:
@@ -214,11 +239,38 @@ class Node:
 
         tokens = self._pop_tokens(neighbor)
         ctrl = self._pop_ctrl(link)
-        if cell is None and not tokens and not ctrl:
+        if cell is None and not tokens and not ctrl and not force:
             return None
         if cell is None:
             cell = Cell.make_dummy(self.node_id, neighbor)
         return Transmission(self.node_id, neighbor, cell, tokens, ctrl)
+
+    def _probe_failed_neighbor(self, neighbor: int, phase: int,
+                               offset: int) -> Transmission:
+        """Probe a neighbour this node believes is down (Section 3.4).
+
+        A real Shale node transmits a (dummy) cell on every link in every
+        connected slot; that constant chatter is what lets the other side of
+        a recovered link notice it is alive again.  The simulator elides
+        dummies on healthy links, so links under suspicion must send them
+        explicitly — once per epoch, since a pair meets once per epoch.
+        While we cannot *hear* the neighbour, the probe also carries a
+        deafness complaint token so a one-way link failure shuts the link
+        down on both sides (symmetric detection).
+        """
+        tokens: List[Token] = []
+        if self._fail_cause.get(neighbor, 0) & LINK_SILENT:
+            tokens.append(Token(self.node_id, 1, TOKEN_INVALIDATE))
+        queue = self.token_return.get(neighbor)
+        if queue:
+            limit = self.config.tokens_per_header
+            while queue and len(tokens) < limit:
+                tokens.append(queue.popleft())
+                self.pending_tokens -= 1
+        ctrl = (ControlMessage(CTRL_PROBE, -1, self.node_id, neighbor),)
+        ctrl += self._pop_ctrl(self.link_index(phase, offset))
+        cell = Cell.make_dummy(self.node_id, neighbor)
+        return Transmission(self.node_id, neighbor, cell, tuple(tokens), ctrl)
 
     def _select_forwarded_cell(self, link: int, neighbor: int) -> Optional[Cell]:
         """Dequeue the first eligible forwarded cell for this link, if any."""
@@ -302,6 +354,7 @@ class Node:
         cell.hops = 1
         cell.spray_phase = (phase + 1) % self.h
         self.engine.metrics.on_retransmission()
+        self.engine.metrics.on_cell_injected()
         return cell
 
     def _pick_flow(self, t: int, neighbor: int) -> Optional[Flow]:
@@ -372,6 +425,7 @@ class Node:
         if self.mode == "isd":
             flow.credit -= 1.0
         flow.sent += 1
+        self.engine.metrics.on_cell_injected()
         if flow.done_sending:
             self._prune_local_flows()
         return cell
@@ -414,13 +468,25 @@ class Node:
     def receive(self, tx: Transmission, t: int, phase: int) -> None:
         """Run the RX pipeline for a transmission arriving this slot."""
         sender = tx.sender
-        if self.uses_hbh:
+        manager = self.engine.failure_manager
+        complaint = False
+        if tx.tokens:
             for token in tx.tokens:
                 if token.kind == TOKEN_REGULAR:
-                    self.ledger.credit(sender, token.bucket())
-                    self.bucket_tracker.release(token.bucket())
+                    if self.uses_hbh:
+                        self.ledger.credit(sender, token.bucket())
+                        self.bucket_tracker.release(token.bucket())
                 else:
+                    # failure-protocol tokens flow in every CC mode
+                    if token.sprays >= 1 and token.kind == TOKEN_INVALIDATE \
+                            and token.dest == sender:
+                        complaint = True
                     self.engine.failures_on_token(self, sender, token, phase)
+        if manager is not None:
+            # every arrival is a liveness observation: hearing the sender
+            # clears a SILENT marking, and hearing it *without* a deafness
+            # complaint clears a DEAF marking
+            manager.on_contact(self.engine, self, sender, t, complaint)
         for msg in tx.ctrl:
             self._handle_ctrl(msg, t, phase)
         cell = tx.cell
@@ -542,7 +608,11 @@ class Node:
             if mine == want:
                 continue
             target = coords.with_coordinate(self.node_id, p, want)
-            if target in self.failed_neighbors or target in self.known_failed:
+            if (
+                target in self.failed_neighbors
+                or target in self.known_failed
+                or (self.link_invalid and (target, dst) in self.link_invalid)
+            ):
                 return self._reroute_around_failure(cell, target, p)
             return p, (want - mine) % self.r
         # all coordinates already match: this IS the destination — but then
@@ -634,6 +704,13 @@ class Node:
         self.pending_ctrl += 1
 
     def _consume_ctrl(self, msg: ControlMessage, t: int) -> None:
+        if msg.kind == CTRL_PROBE:
+            # A liveness probe: reply with an explicit dummy at the next
+            # meeting so the prober hears us even if we are idle.  Replies
+            # carry no probe marker, which is what stops two healthy idle
+            # nodes from ping-ponging dummies forever.
+            self._force_dummy.add(msg.src)
+            return
         if msg.kind == CTRL_PULL:
             flow = self.engine.flows.get(msg.flow_id)
             if flow is not None and flow.src == self.node_id:
@@ -652,6 +729,49 @@ class Node:
         self.engine.metrics.on_trim()
         notice = ControlMessage(CTRL_TRIM, cell.flow_id, cell.src, cell.dst, cell.seq)
         self._send_ctrl(notice, t)
+
+    # ------------------------------------------------------------------ #
+    # recovery
+
+    def reset_for_recovery(self, t: int) -> None:
+        """Wipe all pre-failure state when this node rejoins the network.
+
+        A crashed-and-rebooted host loses its queues and its learned failure
+        knowledge; carrying either across the crash would let it re-transmit
+        dead cells or route on stale invalidations.  Queued payload cells
+        are accounted as drops (their upstream token credit was already
+        healed by ``TokenLedger.reset_neighbor`` at the neighbours when they
+        detected the crash).  Locally originated flows keep their source
+        data — the host still has it — and simply resume sending.
+        """
+        metrics = self.engine.metrics
+        dropped = 0
+        for queue in self.link_queues:
+            stale = queue.remove_if(lambda c: True)
+            dropped += len(stale)
+            for cell in stale:
+                cell.prev_hop = -1
+        if dropped:
+            metrics.on_drop(dropped)
+        self.total_enqueued = 0
+        self.token_return.clear()
+        self.pending_tokens = 0
+        for queue in self.ctrl_out:
+            queue.clear()
+        self.pending_ctrl = 0
+        self.rtx_queue.clear()
+        self._recv_counts.clear()
+        self.failed_neighbors.clear()
+        self.known_failed.clear()
+        self.link_invalid.clear()
+        self._fail_cause.clear()
+        self._force_dummy.clear()
+        if self.uses_hbh:
+            self.ledger = TokenLedger(
+                budget=self.config.token_budget,
+                first_hop_budget=self.config.first_hop_token_budget,
+            )
+            self.bucket_tracker = ActiveBucketTracker()
 
     # ------------------------------------------------------------------ #
     # metrics

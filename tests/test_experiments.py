@@ -190,12 +190,31 @@ class TestFig12:
         )
 
     def test_throughput_declines_modestly(self, result):
-        tputs = {frac: tput for _h, frac, _c, tput, _b in result.rows}
+        tputs = {row.fraction: row.throughput for row in result.rows}
         assert tputs[0.125] > 0.5 * tputs[0.0]
         assert tputs[0.0] >= tputs[0.125] * 0.95  # no failures >= failures
 
+    def test_conservation_and_detection_columns(self, result):
+        assert all(row.conserved for row in result.rows)
+        for row in result.rows:
+            if row.failed_count:
+                assert row.detect_epochs is not None
+
+    def test_link_mode(self):
+        result = fig12_failures.run(
+            n=16, h_values=(2,), failed_fractions=(0.0, 0.125),
+            duration=4000, flow_cells=3000, permutations=4, mode="links",
+        )
+        assert result.mode == "links"
+        assert all(row.conserved for row in result.rows)
+        tputs = {row.fraction: row.throughput for row in result.rows}
+        # the fabric stays connected: link failures cost little throughput
+        assert tputs[0.125] > 0.6 * tputs[0.0]
+
     def test_report(self, result):
-        assert "Figure 12" in fig12_failures.report(result)
+        report = fig12_failures.report(result)
+        assert "Figure 12" in report
+        assert "conserved" in report
 
 
 class TestFig13:

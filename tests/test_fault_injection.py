@@ -1,0 +1,219 @@
+"""Tests for the stochastic fault injector and the run-health watchdog."""
+
+import pytest
+
+from repro.failures import FailureEvent, FaultInjector, LinkFailureEvent
+from repro.failures.manager import FailureManager
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine
+from repro.sim.monitor import ConservationError, RunMonitor
+from repro.workloads.generators import permutation_workload
+
+pytestmark = pytest.mark.faults
+
+
+def make_engine(manager=None, n=16, h=2, duration=4000, seed=11, **cfg_kw):
+    cfg = SimConfig(
+        n=n, h=h, duration=duration, propagation_delay=2,
+        congestion_control="hbh+spray", seed=seed, **cfg_kw,
+    )
+    return cfg, Engine(cfg, failure_manager=manager)
+
+
+class TestFaultInjector:
+    def test_same_seed_byte_identical(self):
+        kwargs = dict(n=16, h=2, duration=50_000, seed=42,
+                      node_mtbf=8000, node_mttr=2000,
+                      link_mtbf=6000, link_mttr=1500)
+        a = FaultInjector(**kwargs)
+        b = FaultInjector(**kwargs)
+        assert a.describe() == b.describe()
+        assert a.describe()  # non-trivial schedule
+
+    def test_different_seed_differs(self):
+        kwargs = dict(n=16, h=2, duration=50_000,
+                      node_mtbf=8000, node_mttr=2000)
+        assert FaultInjector(seed=1, **kwargs).describe() \
+            != FaultInjector(seed=2, **kwargs).describe()
+
+    def test_streams_are_per_entity(self):
+        """Adding link flaps must not reshuffle the node-crash schedule."""
+        nodes_only = FaultInjector(16, 2, 50_000, seed=3,
+                                   node_mtbf=8000, node_mttr=2000)
+        both = FaultInjector(16, 2, 50_000, seed=3,
+                             node_mtbf=8000, node_mttr=2000,
+                             link_mtbf=6000, link_mttr=1500)
+        node_events = [e for e in both.events()
+                       if isinstance(e, FailureEvent)]
+        assert [repr(e) for e in nodes_only.events()] \
+            == [repr(e) for e in node_events]
+
+    def test_events_alternate_and_stay_in_horizon(self):
+        inj = FaultInjector(16, 2, 30_000, seed=5,
+                            node_mtbf=4000, node_mttr=1000,
+                            link_mtbf=5000, link_mttr=1000)
+        per_entity = {}
+        for e in inj.events():
+            assert 0 <= e.t < 30_000
+            key = ("node", e.node) if isinstance(e, FailureEvent) \
+                else ("link", e.a, e.b)
+            per_entity.setdefault(key, []).append(e)
+        assert per_entity, "mtbf of 4000 over 30k slots must fire"
+        for events in per_entity.values():
+            # strictly increasing times, alternating fail/recover, fail first
+            times = [e.t for e in events]
+            assert times == sorted(set(times))
+            for i, e in enumerate(events):
+                assert e.failed == (i % 2 == 0)
+
+    def test_zero_mttr_is_permanent(self):
+        inj = FaultInjector(16, 2, 500_000, seed=9, node_mtbf=10_000)
+        for e in inj.events():
+            assert e.failed  # never recovers
+
+    def test_restriction_to_nodes_and_links(self):
+        inj = FaultInjector(16, 2, 100_000, seed=4,
+                            node_mtbf=5000, node_mttr=500,
+                            link_mtbf=5000, link_mttr=500,
+                            node_ids=[3], links=[(0, 1)])
+        for e in inj.events():
+            if isinstance(e, FailureEvent):
+                assert e.node == 3
+            else:
+                assert (e.a, e.b) == (0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(16, 2, 0)
+        with pytest.raises(ValueError):
+            FaultInjector(16, 2, 1000, node_mtbf=-1)
+
+    def test_from_config_uses_sim_seed(self):
+        cfg = SimConfig(n=16, h=2, duration=20_000, seed=77)
+        inj = FaultInjector.from_config(cfg, node_mtbf=5000, node_mttr=500)
+        twin = FaultInjector(16, 2, 20_000, seed=77,
+                             node_mtbf=5000, node_mttr=500)
+        assert inj.describe() == twin.describe()
+
+
+class TestCellLoss:
+    def test_loss_drops_payload_but_preserves_contact(self):
+        manager = FailureManager(cell_loss_rate=0.05)
+        cfg, engine = make_engine(manager, duration=4000)
+        monitor = RunMonitor().attach(engine)
+        engine.schedule_flows(
+            permutation_workload(cfg, size_cells=500)
+        )
+        engine.run()
+        assert engine.metrics.wire_losses > 0
+        assert not monitor.violations
+        # noise is loss, not failure: nobody declared a neighbour down
+        assert not manager.detections
+        assert all(not node.failed_neighbors for node in engine.nodes)
+
+    def test_loss_stream_is_reproducible(self):
+        losses = []
+        for _ in range(2):
+            manager = FailureManager(cell_loss_rate=0.05)
+            cfg, engine = make_engine(manager, duration=3000)
+            engine.schedule_flows(permutation_workload(cfg, size_cells=300))
+            engine.run()
+            losses.append(engine.metrics.wire_losses)
+        assert losses[0] == losses[1] > 0
+
+
+class TestRunMonitor:
+    def test_clean_run_has_no_violations(self):
+        cfg, engine = make_engine(duration=2000)
+        monitor = RunMonitor(strict=True).attach(engine)
+        engine.schedule_flows(permutation_workload(cfg, size_cells=200))
+        engine.run()
+        assert monitor.checks > 0
+        assert not monitor.violations
+        assert not monitor.stalls
+
+    def test_strict_raises_on_forged_cells(self):
+        cfg, engine = make_engine(duration=2000)
+        RunMonitor(strict=True).attach(engine)
+        engine.metrics.cells_injected += 5  # forge: injected with no cell
+        with pytest.raises(ConservationError):
+            engine.run()
+
+    def test_nonstrict_records_violation(self):
+        cfg, engine = make_engine(duration=1000)
+        monitor = RunMonitor().attach(engine)
+        engine.metrics.cells_injected += 5
+        engine.run()
+        assert monitor.violations
+        assert monitor.violations[0]["missing"] == 5
+
+    def test_stall_detected_on_frozen_backlog(self):
+        cfg, engine = make_engine(duration=3000)
+        monitor = RunMonitor(stall_window_epochs=2).attach(engine)
+        # a cell that sits in a queue forever with no matching progress
+        engine.metrics.cells_injected += 1
+        engine.nodes[0].total_enqueued += 1
+        engine.run()
+        assert monitor.stalls
+        assert monitor.stalls[0]["kind"] in ("stall", "livelock")
+        assert monitor.stalls[0]["backlog"] == 1
+
+    def test_report_structure(self):
+        manager = FailureManager(
+            events=[FailureEvent(500, 3), FailureEvent(1500, 3, False)]
+        )
+        cfg, engine = make_engine(manager, duration=3000)
+        monitor = RunMonitor().attach(engine)
+        engine.schedule_flows(permutation_workload(cfg, size_cells=200))
+        engine.run()
+        rep = monitor.report()
+        totals = rep["totals"]
+        assert totals["injected"] == totals["delivered"] \
+            + totals["dropped"] + totals["trimmed"] + totals["queued"] \
+            + totals["in_flight"]
+        fail_ev, rec_ev = rep["failures"]["events"]
+        assert fail_ev["action"] == "fail" and fail_ev["target"] == [3]
+        assert fail_ev["detect_first_slots"] is not None
+        assert rec_ev["action"] == "recover"
+        assert "fail" in monitor.format_report()
+
+    def test_report_json_byte_identical_across_runs(self):
+        """Same seed -> byte-identical resilience report."""
+        reports = []
+        for _ in range(2):
+            inj = FaultInjector(16, 2, 6000, seed=13,
+                                node_mtbf=2500, node_mttr=800,
+                                link_mtbf=3000, link_mttr=600,
+                                cell_loss_rate=0.01)
+            manager = inj.build_manager()
+            cfg, engine = make_engine(manager, duration=6000)
+            monitor = RunMonitor().attach(engine)
+            engine.schedule_flows(permutation_workload(cfg, size_cells=400))
+            engine.run()
+            reports.append(monitor.report_json())
+        assert reports[0] == reports[1]
+
+
+class TestConservationUnderInjectedFaults:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_fault_schedule_conserves_cells(self, seed):
+        inj = FaultInjector(16, 2, 8000, seed=seed,
+                            node_mtbf=2000, node_mttr=600,
+                            link_mtbf=2500, link_mttr=500,
+                            cell_loss_rate=0.005)
+        manager = inj.build_manager()
+        cfg, engine = make_engine(manager, duration=8000, seed=seed)
+        monitor = RunMonitor(strict=True).attach(engine)
+        engine.schedule_flows(permutation_workload(cfg, size_cells=600))
+        engine.run()  # strict monitor raises on any leak
+        monitor.check(engine, engine.t)
+        assert not monitor.violations
+
+    def test_mixed_fig12_mode_conserves(self):
+        from repro.experiments import fig12_failures
+
+        result = fig12_failures.run(
+            n=16, h_values=(2,), failed_fractions=(0.0, 0.125),
+            duration=3000, flow_cells=2000, permutations=4, mode="mixed",
+        )
+        assert all(row.conserved for row in result.rows)

@@ -2,7 +2,7 @@
 
 import random
 
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
@@ -17,7 +17,12 @@ from repro.core.interleave import (
     SubScheduleSpec,
 )
 from repro.core.schedule import Schedule
+from repro.failures import FaultInjector
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine
+from repro.sim.monitor import RunMonitor
 from repro.sim.reorder import ReorderBuffer
+from repro.workloads.generators import permutation_workload
 from repro.baselines.opera.topology import RotorTopology
 
 
@@ -137,6 +142,42 @@ class TestInterleaveProperties:
         assert abs(inter.pattern_counts[0] - share * 100) <= 1
         # total guaranteed throughput never exceeds the best single schedule
         assert inter.total_throughput() <= 0.25 + 1e-9
+
+
+class TestFaultConservationProperties:
+    @settings(
+        max_examples=8, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        node_mtbf=st.sampled_from([0, 1200, 2500]),
+        link_mtbf=st.sampled_from([0, 1500, 3000]),
+        loss=st.sampled_from([0.0, 0.01]),
+        detection_epochs=st.integers(1, 3),
+    )
+    def test_random_fault_schedule_conserves_cells(
+            self, seed, node_mtbf, link_mtbf, loss, detection_epochs):
+        """Under any random crash/flap/loss schedule, every injected cell is
+        delivered, dropped, trimmed, queued or in flight — never leaked."""
+        duration = 4000
+        inj = FaultInjector(
+            16, 2, duration, seed=seed,
+            node_mtbf=node_mtbf, node_mttr=500,
+            link_mtbf=link_mtbf, link_mttr=400,
+            cell_loss_rate=loss,
+        )
+        manager = inj.build_manager(detection_epochs=detection_epochs)
+        cfg = SimConfig(
+            n=16, h=2, duration=duration, propagation_delay=2,
+            congestion_control="hbh+spray", seed=seed % 1000,
+        )
+        engine = Engine(cfg, failure_manager=manager)
+        monitor = RunMonitor(strict=True).attach(engine)
+        engine.schedule_flows(permutation_workload(cfg, size_cells=300))
+        engine.run()  # strict: any leak raises ConservationError mid-run
+        monitor.check(engine, engine.t)
+        assert not monitor.violations
 
 
 class TestOperaProperties:
