@@ -1,18 +1,26 @@
 """Microbenchmarks of the simulator hot path itself.
 
 Not a paper figure: these track the cost of a simulated timeslot so that
-regressions in the Python hot path (Node.transmit / Node.receive) are
-caught.  Unlike the figure benches these use multiple rounds.
+regressions in the Python hot path (``Engine._run_tx`` and the inlined
+TX/RX pipelines) are caught.  Unlike the figure benches these use multiple
+rounds, and each case reports its throughput in simulated slots per second
+via ``extra_info`` (visible in ``--benchmark-json`` output and in the
+table with ``--benchmark-columns=min,mean,rounds,extra``).
 """
+
+import pytest
 
 from repro.sim.config import SimConfig
 from repro.sim.engine import Engine
 from repro.workloads.generators import permutation_workload
 
+#: slots measured per round (after a 200-slot queue warm-up)
+SLOTS = 500
 
-def _build(cc):
+
+def _build(cc, n=64):
     cfg = SimConfig(
-        n=64, h=2, duration=10**9, propagation_delay=4,
+        n=n, h=2, duration=10**9, propagation_delay=4,
         congestion_control=cc, seed=1,
     )
     engine = Engine(cfg, workload=permutation_workload(cfg, 10**6))
@@ -20,11 +28,28 @@ def _build(cc):
     return engine
 
 
+def _bench(benchmark, cc, n):
+    engine = _build(cc, n=n)
+    benchmark(engine.run, SLOTS)
+    best = benchmark.stats.stats.min
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["congestion_control"] = cc
+    benchmark.extra_info["slots_per_sec"] = round(SLOTS / best, 1)
+
+
 def test_engine_slot_throughput_none(benchmark):
-    engine = _build("none")
-    benchmark(engine.run, 500)
+    _bench(benchmark, "none", 64)
 
 
 def test_engine_slot_throughput_hbh_spray(benchmark):
-    engine = _build("hbh+spray")
-    benchmark(engine.run, 500)
+    _bench(benchmark, "hbh+spray", 64)
+
+
+@pytest.mark.slow
+def test_engine_slot_throughput_none_n256(benchmark):
+    _bench(benchmark, "none", 256)
+
+
+@pytest.mark.slow
+def test_engine_slot_throughput_hbh_spray_n256(benchmark):
+    _bench(benchmark, "hbh+spray", 256)

@@ -155,6 +155,19 @@ class CoordinateSystem:
         me = self.coordinate(node, p)
         return self.with_coordinate(node, p, (me + k) % self.r)
 
+    def neighbor_table(self, node: int) -> Tuple[int, ...]:
+        """Flat neighbour lookup table for ``node``, all phases at once.
+
+        Entry ``p * (r - 1) + (k - 1)`` is the phase-``p`` neighbour at
+        round-robin offset ``k`` — the layout the per-node send queues use,
+        so ``table[link_index]`` resolves a link's peer in one index.
+        """
+        out: List[int] = []
+        for p in range(self.h):
+            for k in range(1, self.r):
+                out.append(self.neighbor_at_offset(node, p, k))
+        return tuple(out)
+
     def offset_to(self, node: int, p: int, other: int) -> int:
         """Inverse of :meth:`neighbor_at_offset` — offset from node to other.
 

@@ -65,7 +65,8 @@ class SlotInfo:
 class Schedule:
     """The oblivious EBS connection schedule for an ``N = r**h`` network."""
 
-    __slots__ = ("coords", "h", "r", "n", "phase_length", "epoch_length")
+    __slots__ = ("coords", "h", "r", "n", "phase_length", "epoch_length",
+                 "phase_table", "offset_table")
 
     def __init__(self, coords: CoordinateSystem):
         self.coords = coords
@@ -76,6 +77,14 @@ class Schedule:
         self.phase_length = self.r - 1
         #: timeslots per epoch
         self.epoch_length = self.h * self.phase_length
+        #: slot-in-epoch -> phase index (hot-path lookup table)
+        self.phase_table = tuple(
+            s // self.phase_length for s in range(self.epoch_length)
+        )
+        #: slot-in-epoch -> round-robin offset (hot-path lookup table)
+        self.offset_table = tuple(
+            s % self.phase_length + 1 for s in range(self.epoch_length)
+        )
 
     @classmethod
     def for_network(cls, n: int, h: int) -> "Schedule":
@@ -95,11 +104,11 @@ class Schedule:
 
     def phase_of(self, t: int) -> int:
         """Phase index of absolute timeslot ``t`` (fast path)."""
-        return (t % self.epoch_length) // self.phase_length
+        return self.phase_table[t % self.epoch_length]
 
     def offset_of(self, t: int) -> int:
         """Round-robin offset of absolute timeslot ``t`` (fast path)."""
-        return (t % self.phase_length) + 1
+        return self.offset_table[t % self.epoch_length]
 
     # ------------------------------------------------------------------ #
     # connection functions

@@ -272,6 +272,7 @@ class FailureManager:
         node.failed = False
         self._log_event(engine, t, "recover", "node", [node_id])
         node.reset_for_recovery(t)
+        node.wake()
         for neighbor_id in engine.coords.all_neighbors(node_id):
             if (node_id, neighbor_id) not in engine.failed_links:
                 # our own transmissions flow again; neighbours re-validate
@@ -368,6 +369,7 @@ class FailureManager:
         if mask:
             return  # already reacting because of the other cause
         node.failed_neighbors.add(neighbor)
+        node.wake()  # must probe the suspect link even when otherwise idle
         self._requeue_link(engine, node, neighbor, t)
         if node.ledger is not None:
             # tokens owed by the dead neighbour will never return
@@ -510,6 +512,8 @@ class FailureManager:
         if cell.dst == bad_target:
             # its final hop is dead: drop (end-to-end recovery's job)
             engine.metrics.on_drop()
+            if engine.digest is not None:
+                engine.digest.on_drop(cell, t)
             return
         if cell.sprays_remaining == 0:
             # direct semi-path via the failure: restart spraying

@@ -22,10 +22,12 @@ import random
 from collections import deque
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
+from ..core.cell import Cell
 from ..core.coordinates import CoordinateSystem
-from ..core.header import Token
+from ..core.header import TOKEN_REGULAR, Token
 from ..core.schedule import Schedule
 from .config import SimConfig
+from .digest import DeterminismDigest
 from .flows import Flow, FlowTable
 from .metrics import MetricsCollector
 from .node import Node, Transmission
@@ -65,9 +67,27 @@ class Engine:
             sample_interval=config.metrics_sample_interval,
             warmup=config.warmup,
         )
+        #: node ids that may need to transmit (superset invariant: a node
+        #: outside this set is failed, or idle with no failed neighbours and
+        #: no owed probe replies).  Nodes add themselves on every idle->busy
+        #: transition (``Node.wake``); ``_run_tx`` removes nodes it finds
+        #: skippable.  Built before the nodes so ``wake`` works during setup.
+        self._active_ids: Set[int] = set(range(config.n))
+        #: debug/reference switch: scan every node per slot instead of the
+        #: active set (must be event-identical; see tests/test_properties.py)
+        self.force_full_scan = False
+        #: recycled Transmission shells — a transmission dies as soon as its
+        #: receiver processes it, so the wire re-uses the objects instead of
+        #: allocating ~one per node per slot (identity is never observed).
+        #: Built before the nodes, which cache a reference.
+        self._tx_pool: List[Transmission] = []
         self.nodes: List[Node] = [Node(i, self) for i in range(config.n)]
         self.t = 0
-        self._in_flight: Deque[Tuple[int, Transmission]] = deque()
+        # hot-path caches for step()
+        self._epoch_length = self.schedule.epoch_length
+        self._phase_table = self.schedule.phase_table
+        self._offset_table = self.schedule.offset_table
+        self._in_flight: Deque[Transmission] = deque()
         #: payload (non-dummy) cells currently on the wire — part of the
         #: cell-conservation invariant and the quiescence condition
         self._in_flight_payload = 0
@@ -87,8 +107,20 @@ class Engine:
         #: optional callable(cell, t) invoked on every payload delivery
         #: (used by repro.sim.reorder.ReorderTracker, among others)
         self.delivery_hook = None
+        #: optional DeterminismDigest folding every delivery/drop/token
+        #: event (see repro.sim.digest); attach via :meth:`enable_digest`
+        self.digest: Optional[DeterminismDigest] = None
         # ISD bookkeeping: last time each flow's credit was topped up
         self._isd_last: Dict[int, int] = {}
+
+    def enable_digest(self) -> DeterminismDigest:
+        """Attach (and return) a fresh event digest for equivalence tests.
+
+        The digest is a pure observer: enabling it never changes simulated
+        behavior, only records it.
+        """
+        self.digest = DeterminismDigest()
+        return self.digest
 
     # ------------------------------------------------------------------ #
     # workload plumbing
@@ -143,39 +175,104 @@ class Engine:
     def step(self) -> None:
         """Advance the simulation by one timeslot."""
         t = self.t
-        phase = self.schedule.phase_of(t)
-        offset = self.schedule.offset_of(t)
+        slot = t % self._epoch_length
+        phase = self._phase_table[slot]
+        offset = self._offset_table[slot]
         if self.failure_manager is not None:
             self.failure_manager.advance(self, t)
-        self._deliver_arrivals(t, phase)
-        self._inject_flows(t)
+        if self._in_flight:
+            self._deliver_arrivals(t, phase)
+        if self._pending_flows:
+            self._inject_flows(t)
         self._run_tx(t, phase, offset)
-        if self.metrics.should_sample(t):
-            self._sample_metrics()
+        metrics = self.metrics
+        if t >= metrics.warmup and t % metrics.sample_interval == 0:
+            metrics.sample_engine_nodes(self.nodes)
         if self.monitor is not None:
             self.monitor.on_step_end(self, t)
         self.t = t + 1
 
-    def _deliver_arrivals(self, t: int, phase: int) -> None:
+    def _deliver_arrivals(self, t: int, rx_phase: int) -> None:
+        """Deliver due transmissions; ``rx_phase`` is the phase the receivers
+        are in *now*, which determines each payload cell's next hop."""
         in_flight = self._in_flight
         nodes = self.nodes
         manager = self.failure_manager
-        while in_flight and in_flight[0][0] <= t:
-            _, tx = in_flight.popleft()
+        payload_arrived = 0
+        popleft = in_flight.popleft
+        pool = self._tx_pool
+        while in_flight and in_flight[0].arrival <= t:
+            tx = popleft()
             cell = tx.cell
             if cell is not None and not cell.dummy:
-                self._in_flight_payload -= 1
+                payload_arrived += 1
             if manager is not None:
                 # the wire model: failed receivers, failed links, noise
                 tx = manager.filter_arrival(self, tx, t)
                 if tx is None:
                     continue
-            elif nodes[tx.receiver].failed:
+                nodes[tx.receiver].receive(tx, t, rx_phase)
+                continue
+            receiver = nodes[tx.receiver]
+            if receiver.failed:
                 if cell is not None and not cell.dummy:
                     self.wire_drop(tx)
                 continue
-            # the phase the receiver is in *now* determines the next hop
-            nodes[tx.receiver].receive(tx, t, self.schedule.phase_of(t))
+            # Node.receive inlined for the manager-free wire (the common
+            # case): no liveness bookkeeping, and deafness complaints only
+            # matter to a failure manager, so regular-token credit/release
+            # plus the cell dispatch is the whole RX pipeline.
+            sender = tx.sender
+            tokens = tx.tokens
+            if tokens:
+                if receiver.uses_hbh:
+                    spent = receiver._spent_map
+                    is_first = receiver._is_first_map
+                    refcount = receiver._refcount_map
+                    budget1 = receiver._budget1
+                    for token in tokens:
+                        if token.kind == TOKEN_REGULAR:
+                            dest = token.dest
+                            sprays = token.sprays
+                            key = (sender, dest, sprays)
+                            if budget1:
+                                spent.pop(key, None)
+                            else:
+                                used = spent.get(key, 0)
+                                if used > 0:
+                                    if used == 1:
+                                        del spent[key]
+                                        is_first.pop(key, None)
+                                    else:
+                                        spent[key] = used - 1
+                            bucket = (dest, sprays)
+                            count = refcount.get(bucket, 0)
+                            if count > 1:
+                                refcount[bucket] = count - 1
+                            elif count:
+                                del refcount[bucket]
+                        else:
+                            self.failures_on_token(
+                                receiver, sender, token, rx_phase
+                            )
+                else:
+                    for token in tokens:
+                        if token.kind != TOKEN_REGULAR:
+                            self.failures_on_token(
+                                receiver, sender, token, rx_phase
+                            )
+            if tx.ctrl:
+                for msg in tx.ctrl:
+                    receiver._handle_ctrl(msg, t, rx_phase)
+            if cell is not None and not cell.dummy:
+                if cell.dst == tx.receiver:
+                    receiver._deliver(cell, t)
+                else:
+                    receiver.enqueue_forward(cell, t, rx_phase)
+            if len(pool) < 512:
+                pool.append(tx)
+        if payload_arrived:
+            self._in_flight_payload -= payload_arrived
 
     def wire_drop(self, tx: Transmission) -> None:
         """Account a payload cell lost on the wire and heal sender credit.
@@ -187,6 +284,8 @@ class Engine:
         """
         self.metrics.on_wire_loss()
         cell = tx.cell
+        if self.digest is not None:
+            self.digest.on_wire_loss(cell, self.t)
         sender = self.nodes[tx.sender]
         if (
             sender.uses_hbh
@@ -199,39 +298,199 @@ class Engine:
 
     def _run_tx(self, t: int, phase: int, offset: int) -> None:
         arrival = t + self.config.propagation_delay
-        in_flight = self._in_flight
+        enqueue_tx = self._in_flight.append
         metrics = self.metrics
         tracer = self.tracer
-        for node in self.nodes:
+        digest = self.digest
+        nodes = self.nodes
+        pool = self._tx_pool
+        # every node meets its round-robin peer on the same link index
+        link = phase * (self.coords.r - 1) + offset - 1
+        sent = dummies = payload = tokens_sent = 0
+        if self.force_full_scan:
+            # reference path: scan every node with the original per-node
+            # checks and leave the active set untouched
+            candidates = nodes
+            active = None
+        else:
+            # nodes outside the active set are guaranteed skippable (failed,
+            # or idle with no failed neighbours / owed probe replies), so
+            # only the active ones are visited — in node-id order, which the
+            # shared RNG stream requires.  When everything is active (the
+            # loaded steady state) the node list is already that order.
+            active = self._active_ids
+            if len(active) == len(nodes):
+                candidates = nodes
+            else:
+                candidates = [nodes[i] for i in sorted(active)]
+        for node in candidates:
             if node.failed:
+                if active is not None:
+                    active.discard(node.node_id)
                 continue
-            if node.idle and not node.failed_neighbors and not node._force_dummy:
+            if (
+                node.total_enqueued == 0
+                and not node.local_flows
+                and node.pending_tokens == 0
+                and node.pending_ctrl == 0
+                and not node.rtx_queue
+                and not node.failed_neighbors
+                and not node._force_dummy
+            ):
+                if active is not None:
+                    active.discard(node.node_id)
                 continue
-            tx = node.transmit(t, phase, offset)
-            if tx is None:
-                continue
-            metrics.on_cell_sent(tx.cell.dummy)
-            if not tx.cell.dummy:
-                self._in_flight_payload += 1
-            if tx.tokens:
-                metrics.on_token_sent(len(tx.tokens))
-            if tracer is not None and not tx.cell.dummy:
-                tracer.on_hop(tx.cell, tx.sender, tx.receiver, t)
-            in_flight.append((arrival, tx))
+            if (
+                active is None
+                or not node._inline_tx
+                or node.failed_neighbors
+                or node._force_dummy
+            ):
+                # reference TX pipeline: force_full_scan runs, non-default
+                # configurations, and nodes with failure state
+                tx = node.transmit(t, phase, offset)
+                if tx is None:
+                    continue
+            else:
+                # Node.transmit inlined for the common case (the simulator's
+                # hottest loop).  Must stay step-for-step equivalent to the
+                # reference; tests/test_golden_traces.py and the
+                # force_full_scan property test lock the equivalence down.
+                neighbor = node.neighbors_flat[link]
+                node_id = node.node_id
+                cell = None
+                items = node._link_items[link]
+                if items:
+                    if node.uses_hbh:
+                        # budget-1 eligibility scan with the charge fused in
+                        spent = node._spent_map
+                        for i, c in enumerate(items):
+                            dst = c.dst
+                            if neighbor == dst:
+                                del items[i]
+                                cell = c
+                                break
+                            n = c.sprays_remaining
+                            key = (neighbor, dst, n - 1 if n > 0 else 0)
+                            if key not in spent:
+                                del items[i]
+                                cell = c
+                                spent[key] = 1
+                                break
+                        if cell is not None:
+                            # token upstream + bucket release
+                            node.total_enqueued -= 1
+                            n = cell.sprays_remaining
+                            dst = cell.dst
+                            prev = cell.prev_hop
+                            bucket = (dst, n)
+                            if prev >= 0:
+                                queue = node.token_return.get(prev)
+                                if queue is None:
+                                    queue = deque()
+                                    node.token_return[prev] = queue
+                                tcache = node._token_cache
+                                tok = tcache.get(bucket)
+                                if tok is None:
+                                    tok = Token(dst, n, TOKEN_REGULAR)
+                                    tcache[bucket] = tok
+                                queue.append(tok)
+                                node.pending_tokens += 1
+                            refcount = node._refcount_map
+                            count = refcount.get(bucket, 0)
+                            if count > 1:
+                                refcount[bucket] = count - 1
+                            elif count:
+                                del refcount[bucket]
+                            if n > 0:
+                                cell.sprays_remaining = n - 1
+                            cell.prev_hop = node_id
+                            cell.hops += 1
+                    else:
+                        cell = items.pop(0)
+                        node.total_enqueued -= 1
+                        n = cell.sprays_remaining
+                        if n > 0:
+                            cell.sprays_remaining = n - 1
+                        cell.prev_hop = node_id
+                        cell.hops += 1
+                if cell is None and (node.local_flows or node.rtx_queue):
+                    if node.rtx_queue:
+                        cell = node._admit_local_cell(t, phase, neighbor)
+                    else:
+                        flow = None
+                        for f in node.local_flows:
+                            if f.sent < f.size_cells:
+                                flow = f
+                                break
+                        if flow is not None and node.uses_hbh:
+                            key = (neighbor, flow.dst, node._hm1)
+                            if key in node._spent_map:
+                                flow = node._pick_flow(t, neighbor)
+                        if flow is not None:
+                            cell = node._emit_flow_cell(
+                                flow, t, phase, neighbor
+                            )
+                tokens = ()
+                if node.pending_tokens:
+                    queue = node.token_return.get(neighbor)
+                    if queue:
+                        limit = node._tokens_per_header
+                        if len(queue) <= limit:
+                            tokens = tuple(queue)
+                            queue.clear()
+                            node.pending_tokens -= len(tokens)
+                        else:
+                            out = []
+                            while len(out) < limit:
+                                out.append(queue.popleft())
+                            node.pending_tokens -= limit
+                            tokens = tuple(out)
+                ctrl = ()
+                if node.pending_ctrl:
+                    queue = node.ctrl_out[link]
+                    if queue:
+                        out = []
+                        while queue and len(out) < 2:
+                            out.append(queue.popleft())
+                        node.pending_ctrl -= len(out)
+                        ctrl = tuple(out)
+                if cell is None:
+                    if not tokens and not ctrl:
+                        continue
+                    cell = Cell.make_dummy(node_id, neighbor)
+                if pool:
+                    tx = pool.pop()
+                    tx.sender = node_id
+                    tx.receiver = neighbor
+                    tx.cell = cell
+                    tx.tokens = tokens
+                    tx.ctrl = ctrl
+                else:
+                    tx = Transmission(node_id, neighbor, cell, tokens, ctrl)
+            cell = tx.cell
+            sent += 1
+            if cell.dummy:
+                dummies += 1
+            else:
+                payload += 1
+                if tracer is not None:
+                    tracer.on_hop(cell, tx.sender, tx.receiver, t)
+            tokens = tx.tokens
+            if tokens:
+                tokens_sent += len(tokens)
+                if digest is not None:
+                    digest.on_tokens(tx.sender, tx.receiver, tokens, t)
+            tx.arrival = arrival
+            enqueue_tx(tx)
+        if sent:
+            metrics.cells_sent += sent
+            metrics.dummy_cells_sent += dummies
+            metrics.tokens_sent += tokens_sent
+            self._in_flight_payload += payload
 
     def _sample_metrics(self) -> None:
-        metrics = self.metrics
-        for node in self.nodes:
-            if node.failed:
-                continue
-            lengths = [len(q) for q in node.link_queues if q]
-            metrics.sample_node(
-                node.buffer_occupancy(),
-                lengths,
-                active_buckets=node.active_bucket_count(),
-                pieo_length=node.max_pieo_occupancy(),
-            )
-        metrics.end_sample_window()
+        self.metrics.sample_engine_nodes(self.nodes)
 
     # ------------------------------------------------------------------ #
     # ISD (idealized sender-driven) global rate control

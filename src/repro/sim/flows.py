@@ -165,17 +165,26 @@ class FlowTable:
             return None
         flow.delivered += 1
         if flow.complete:
-            flow.completed_at = t
-            record = FlowRecord(flow)
-            self.completed.append(record)
-            del self._active[flow.flow_id]
-            remaining = self.incast_degree.get(flow.dst, 1) - 1
-            if remaining:
-                self.incast_degree[flow.dst] = remaining
-            else:
-                self.incast_degree.pop(flow.dst, None)
-            return record
+            return self.finalize(flow, t)
         return None
+
+    def finalize(self, flow: Flow, t: int) -> FlowRecord:
+        """Complete ``flow`` at time ``t`` and return its record.
+
+        Callers must have already counted the final delivery (``delivered``
+        at or past ``size_cells``); the simulator's delivery hot path inlines
+        that counting and only calls here on the completing cell.
+        """
+        flow.completed_at = t
+        record = FlowRecord(flow)
+        self.completed.append(record)
+        del self._active[flow.flow_id]
+        remaining = self.incast_degree.get(flow.dst, 1) - 1
+        if remaining:
+            self.incast_degree[flow.dst] = remaining
+        else:
+            self.incast_degree.pop(flow.dst, None)
+        return record
 
     def active_flows(self) -> Iterable[Flow]:
         """Iterate flows that have not completed."""

@@ -20,6 +20,37 @@ import numpy as np
 __all__ = ["MetricsCollector", "percentile"]
 
 
+class _IntBuffer:
+    """A growable int64 sample buffer backed by one numpy array.
+
+    The hot sampling path appends scalars; the reporting path reads the
+    filled prefix as a zero-copy view.  Doubling growth keeps appends
+    amortised O(1) without per-sample list/object allocation.
+    """
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self, capacity: int = 1024):
+        self._data = np.empty(capacity, dtype=np.int64)
+        self._size = 0
+
+    def append(self, value: int) -> None:
+        data = self._data
+        size = self._size
+        if size == data.shape[0]:
+            data = np.resize(data, size * 2)
+            self._data = data
+        data[size] = value
+        self._size = size + 1
+
+    def view(self) -> np.ndarray:
+        """The filled prefix (zero-copy; invalidated by the next growth)."""
+        return self._data[: self._size]
+
+    def __len__(self) -> int:
+        return self._size
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """The ``q``-th percentile (0..100) of ``values`` (0.0 when empty).
 
@@ -56,9 +87,9 @@ class MetricsCollector:
         self.tokens_sent = 0
         self.control_messages = 0
         # per-node buffer occupancy samples (all queues at the node summed)
-        self.buffer_samples: List[int] = []
+        self._buffer_samples = _IntBuffer()
         # per-queue length samples
-        self.queue_samples: List[int] = []
+        self._queue_samples = _IntBuffer()
         # exact maxima
         self.max_queue_length = 0
         self.max_buffer_occupancy = 0
@@ -126,6 +157,16 @@ class MetricsCollector:
         """Whether timeslot ``t`` is a sampling instant (post warm-up)."""
         return t >= self.warmup and t % self.sample_interval == 0
 
+    @property
+    def buffer_samples(self) -> np.ndarray:
+        """Per-node total-buffer occupancy samples, as an int64 array."""
+        return self._buffer_samples.view()
+
+    @property
+    def queue_samples(self) -> np.ndarray:
+        """Per-queue length samples (non-empty queues only), as int64."""
+        return self._queue_samples.view()
+
     def sample_node(
         self,
         buffer_occupancy: int,
@@ -134,15 +175,55 @@ class MetricsCollector:
         pieo_length: int = 0,
     ) -> None:
         """Record one node's state at a sampling instant."""
-        self.buffer_samples.append(buffer_occupancy)
+        self._buffer_samples.append(buffer_occupancy)
         if buffer_occupancy > self.max_buffer_occupancy:
             self.max_buffer_occupancy = buffer_occupancy
         if queue_lengths:
-            self.queue_samples.extend(queue_lengths)
+            for length in queue_lengths:
+                self._queue_samples.append(length)
         if active_buckets > self.max_active_buckets:
             self.max_active_buckets = active_buckets
         if pieo_length > self.max_pieo_length:
             self.max_pieo_length = pieo_length
+
+    def sample_engine_nodes(self, nodes) -> None:
+        """Sample every live node and close the throughput window.
+
+        The bulk equivalent of calling :meth:`sample_node` per node followed
+        by :meth:`end_sample_window`, without building per-node length lists:
+        the engine's sampling step is allocation-free apart from buffer
+        growth.
+        """
+        buf = self._buffer_samples
+        qbuf = self._queue_samples
+        max_buf = self.max_buffer_occupancy
+        max_ab = self.max_active_buckets
+        max_pieo = self.max_pieo_length
+        for node in nodes:
+            if node.failed:
+                continue
+            occ = node.total_enqueued
+            buf.append(occ)
+            if occ > max_buf:
+                max_buf = occ
+            peak = 0
+            for queue in node.link_queues:
+                items = queue._items
+                if items:
+                    qbuf.append(len(items))
+                if queue.peak_occupancy > peak:
+                    peak = queue.peak_occupancy
+            if peak > max_pieo:
+                max_pieo = peak
+            tracker = node.bucket_tracker
+            if tracker is not None:
+                active = len(tracker._refcount)
+                if active > max_ab:
+                    max_ab = active
+        self.max_buffer_occupancy = max_buf
+        self.max_active_buckets = max_ab
+        self.max_pieo_length = max_pieo
+        self.end_sample_window()
 
     def end_sample_window(self) -> None:
         """Close a throughput accounting window."""

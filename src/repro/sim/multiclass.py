@@ -86,8 +86,11 @@ class MultiClassSimulation:
         _, sub_t = self.interleave.sub_timeslot(master_t)
         phase = engine.schedule.phase_of(sub_t)
         offset = engine.schedule.offset_of(sub_t)
+        # receivers decode their current phase from the *master* clock (the
+        # sub-engine's wall time), not the sub-slot driving this TX step
+        rx_phase = engine.schedule.phase_of(master_t)
         engine.t = master_t
-        engine._deliver_arrivals(master_t, phase)
+        engine._deliver_arrivals(master_t, rx_phase)
         engine._inject_flows(master_t)
         engine._run_tx(master_t, phase, offset)
         if engine.metrics.should_sample(master_t):

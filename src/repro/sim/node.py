@@ -67,7 +67,7 @@ class Transmission:
     """Everything sent over one link in one timeslot: a cell plus header
     sidecars (tokens and control messages)."""
 
-    __slots__ = ("sender", "receiver", "cell", "tokens", "ctrl")
+    __slots__ = ("sender", "receiver", "cell", "tokens", "ctrl", "arrival")
 
     def __init__(
         self,
@@ -82,6 +82,9 @@ class Transmission:
         self.cell = cell
         self.tokens = tokens
         self.ctrl = ctrl
+        #: wire delivery time, stamped by the engine when the transmission
+        #: enters the in-flight queue (so the wire needs no wrapper tuples)
+        self.arrival = -1
 
 
 class Node:
@@ -119,6 +122,32 @@ class Node:
         "_force_dummy",
         "epoch_length",
         "_recv_counts",
+        # hot-path caches (derived, never authoritative)
+        "neighbors_flat",
+        "_rm1",
+        "_is_priority",
+        "_fifo_hbh",
+        "_tokens_per_header",
+        "_my_digits",
+        "_weights",
+        "_active",
+        "_randrange",
+        "_getrandbits",
+        "_spray_bits",
+        "_phase_queues",
+        "_phase_items",
+        "_token_cache",
+        "_spent_map",
+        "_is_first_map",
+        "_refcount_map",
+        "_budget1",
+        "_fh_budget",
+        "_hm1",
+        "_simple_pick",
+        "_metrics",
+        "_tx_pool",
+        "_inline_tx",
+        "_link_items",
     )
 
     def __init__(self, node_id: int, engine) -> None:
@@ -142,9 +171,57 @@ class Node:
             [self.coords.neighbor_at_offset(node_id, p, k) for k in range(1, self.r)]
             for p in range(self.h)
         ]
+        #: same table flattened so neighbors_flat[link_index] is the peer
+        self.neighbors_flat = self.coords.neighbor_table(node_id)
+        self._rm1 = self.r - 1
+        self._hm1 = self.h - 1
+        self._is_priority = self.mode == "priority"
+        #: True when flow admission is unconditional (every mode except
+        #: priority ranking, ISD pacing and the RD/NDP window)
+        self._simple_pick = not (
+            self.mode in ("priority", "isd") or self.mode in ("rd", "ndp")
+        )
+        self._fifo_hbh = config.use_fifo_for_hbh
+        self._tokens_per_header = config.tokens_per_header
+        self._my_digits = self.coords.coords(node_id)
+        self._weights = self.coords._weights
+        self._active = engine._active_ids
+        #: the engine's collector and transmission freelist (both live for
+        #: the whole run), cached to skip an attribute chain per hot call
+        self._metrics = engine.metrics
+        self._tx_pool = engine._tx_pool
+        self._randrange = engine.rng.randrange
+        # randrange(1, r) == 1 + _randbelow(r - 1), and CPython's
+        # _randbelow draws bit_length(r - 1) bits until the value fits;
+        # the hot paths replay that loop inline on the raw generator so
+        # the draw sequence (and thus behaviour) is bit-identical
+        self._getrandbits = engine.rng.getrandbits
+        self._spray_bits = (self.r - 1).bit_length()
+        #: interned regular tokens by (dest, sprays) — tokens are value
+        #: objects and never mutated, so hops can share one instance
+        self._token_cache: Dict[Tuple[int, int], Token] = {}
         links = self.h * (self.r - 1)
         cap = config.ndp_queue_limit if self.is_ndp else None
-        self.link_queues: List[PieoQueue] = [PieoQueue() for _ in range(links)]
+        # only priority ranking ever pushes a non-zero rank; every other
+        # mode gets the cheaper bare-cell fifo representation
+        self.link_queues: List[PieoQueue] = [
+            PieoQueue(fifo=not self._is_priority) for _ in range(links)
+        ]
+        #: link_queues grouped by phase (the spray scan iterates one phase)
+        self._phase_queues: Tuple[List[PieoQueue], ...] = tuple(
+            self.link_queues[p * self._rm1:(p + 1) * self._rm1]
+            for p in range(self.h)
+        )
+        #: the queues' backing lists, same grouping — their identity is
+        #: stable (PieoQueue never reassigns ``_items``), so ``map(len, …)``
+        #: over one phase reads every queue length without Python frames
+        self._phase_items: Tuple[List[list], ...] = tuple(
+            [q._items for q in group] for group in self._phase_queues
+        )
+        #: the same backing lists, flat by link index (the TX hot path)
+        self._link_items: Tuple[list, ...] = tuple(
+            q._items for q in self.link_queues
+        )
         # NDP's cap is enforced by trimming at enqueue, not by push overflow,
         # so the queues themselves stay uncapped.
         del cap
@@ -158,6 +235,17 @@ class Node:
         else:
             self.ledger = None
             self.bucket_tracker = None
+        self._cache_hbh_state()
+        #: True when the engine may run its inlined copy of the common-case
+        #: TX pipeline for this node (see Engine._run_tx): unconditional
+        #: flow admission, fifo bare-cell queues, and — under hop-by-hop —
+        #: the uniform budget-1 ledger.  Every other configuration (and any
+        #: node with failure state) goes through the reference transmit().
+        self._inline_tx = (
+            self._simple_pick
+            and not self._is_priority
+            and (not self.uses_hbh or (self._budget1 and not self._fifo_hbh))
+        )
         self.local_flows: List[Flow] = []
         self.rtx_queue: Deque[Tuple[int, int, int]] = deque()  # (flow_id, dst, seq)
         self.ctrl_out: List[Deque[ControlMessage]] = [deque() for _ in range(links)]
@@ -179,6 +267,29 @@ class Node:
         self._force_dummy: Set[int] = set()
         # per-flow delivered counts for PULL pacing at the receiver
         self._recv_counts: Dict[int, int] = {}
+
+    def _cache_hbh_state(self) -> None:
+        """Refresh the hot-path aliases of the ledger/tracker internals.
+
+        Must be re-run whenever ``self.ledger`` / ``self.bucket_tracker``
+        are replaced (construction and crash recovery).
+        """
+        if self.uses_hbh:
+            self._spent_map = self.ledger._spent
+            self._is_first_map = self.ledger._is_first
+            self._refcount_map = self.bucket_tracker._refcount
+            self._fh_budget = self.ledger.first_hop_budget
+            # with a uniform budget of one token, "has credit" degenerates
+            # to "no outstanding token for this (neighbour, bucket) pair"
+            self._budget1 = (
+                self.ledger.budget == 1 and self.ledger.first_hop_budget == 1
+            )
+        else:
+            self._spent_map = None
+            self._is_first_map = None
+            self._refcount_map = None
+            self._fh_budget = 0
+            self._budget1 = False
 
     # ------------------------------------------------------------------ #
     # link helpers
@@ -202,12 +313,22 @@ class Node:
             and not self.rtx_queue
         )
 
+    def wake(self) -> None:
+        """Put this node back on the engine's active-node schedule.
+
+        Must be called on every transition that can give an idle node work
+        (enqueue, new flow, queued token/control, failed-neighbour marking,
+        owed probe reply, recovery) — the engine only visits active nodes.
+        """
+        self._active.add(self.node_id)
+
     # ------------------------------------------------------------------ #
     # flow management
 
     def add_flow(self, flow: Flow) -> None:
         """Register a locally originated flow."""
         self.local_flows.append(flow)
+        self._active.add(self.node_id)
 
     def _prune_local_flows(self) -> None:
         if any(f.done_sending for f in self.local_flows):
@@ -222,9 +343,15 @@ class Node:
         Returns ``None`` when the node has neither data, tokens nor control
         messages for the current neighbour (a real network would send an
         empty dummy cell; the simulator elides it).
+
+        This is the simulator's hottest function; the cell selection and the
+        token/bucket bookkeeping of ``_select_forwarded_cell`` /
+        ``_finish_forward`` are inlined here (those methods remain the
+        readable reference implementation and must stay equivalent).
         """
-        neighbor = self.neighbors[phase][offset - 1]
-        if neighbor in self.failed_neighbors:
+        link = phase * self._rm1 + offset - 1
+        neighbor = self.neighbors_flat[link]
+        if self.failed_neighbors and neighbor in self.failed_neighbors:
             return self._probe_failed_neighbor(neighbor, phase, offset)
 
         force = False
@@ -232,18 +359,162 @@ class Node:
             # any transmission satisfies the probe reply
             self._force_dummy.discard(neighbor)
             force = True
-        link = self.link_index(phase, offset)
-        cell = self._select_forwarded_cell(link, neighbor)
-        if cell is None:
-            cell = self._admit_local_cell(t, phase, neighbor)
 
-        tokens = self._pop_tokens(neighbor)
-        ctrl = self._pop_ctrl(link)
+        cell = None
+        node_id = self.node_id
+        items = self._link_items[link]
+        if items:
+            if not self.uses_hbh:
+                # priority queues store ranked (rank, seq, cell) entries;
+                # every other mode uses the bare-cell fifo representation
+                cell = items.pop(0)
+                if self._is_priority:
+                    cell = cell[2]
+                self.total_enqueued -= 1
+                n = cell.sprays_remaining
+                if n > 0:
+                    cell.sprays_remaining = n - 1
+                cell.prev_hop = node_id
+                cell.hops += 1
+            elif self._fifo_hbh:
+                # FIFO ablation: only the head may be sent; if it lacks
+                # credit the whole queue head-of-line blocks
+                if self._hbh_eligible(items[0], neighbor):
+                    cell = items.pop(0)
+                    self.total_enqueued -= 1
+                    self._finish_forward(cell, neighbor)
+            else:
+                # first eligible cell wins: final hops are free, other hops
+                # need next-hop bucket credit (cf. _hbh_eligible); the
+                # _finish_forward charge is fused into the scan — the hit's
+                # eligibility check just guaranteed the credit exists
+                spent = self._spent_map
+                if self._budget1:
+                    # uniform budget T = T_F = 1: one credit remains exactly
+                    # when the (neighbour, bucket) pair has nothing spent
+                    for i, c in enumerate(items):
+                        dst = c.dst
+                        if neighbor == dst:
+                            del items[i]
+                            cell = c
+                            break
+                        n = c.sprays_remaining
+                        key = (neighbor, dst, n - 1 if n > 0 else 0)
+                        if key not in spent:
+                            del items[i]
+                            cell = c
+                            spent[key] = 1
+                            break
+                else:
+                    ledger = self.ledger
+                    is_first = ledger._is_first
+                    budget = ledger.budget
+                    fh_budget = ledger.first_hop_budget
+                    for i, c in enumerate(items):
+                        dst = c.dst
+                        if neighbor == dst:
+                            del items[i]
+                            cell = c
+                            break
+                        n = c.sprays_remaining
+                        key = (neighbor, dst, n - 1 if n > 0 else 0)
+                        used = spent.get(key, 0)
+                        if (fh_budget if is_first.get(key) else budget) > used:
+                            del items[i]
+                            cell = c
+                            spent[key] = used + 1
+                            break
+                if cell is not None:
+                    # rest of _finish_forward: token upstream, bucket release
+                    self.total_enqueued -= 1
+                    n = cell.sprays_remaining
+                    dst = cell.dst
+                    prev = cell.prev_hop
+                    bucket = (dst, n)
+                    if prev >= 0:
+                        queue = self.token_return.get(prev)
+                        if queue is None:
+                            queue = deque()
+                            self.token_return[prev] = queue
+                        tcache = self._token_cache
+                        tok = tcache.get(bucket)
+                        if tok is None:
+                            tok = Token(dst, n, TOKEN_REGULAR)
+                            tcache[bucket] = tok
+                        queue.append(tok)
+                        self.pending_tokens += 1
+                    refcount = self._refcount_map
+                    count = refcount.get(bucket, 0)
+                    if count > 1:
+                        refcount[bucket] = count - 1
+                    elif count:
+                        del refcount[bucket]
+                    if n > 0:
+                        cell.sprays_remaining = n - 1
+                    cell.prev_hop = node_id
+                    cell.hops += 1
+        if cell is None and (self.local_flows or self.rtx_queue):
+            if self.rtx_queue or not self._simple_pick:
+                cell = self._admit_local_cell(t, phase, neighbor)
+            else:
+                # _pick_flow's unconditional-admission path inlined: the
+                # first unfinished flow wins, subject only to the hop-by-hop
+                # first-hop credit check
+                flow = None
+                for f in self.local_flows:
+                    if f.sent < f.size_cells:
+                        flow = f
+                        break
+                if flow is not None and self.uses_hbh:
+                    spent = self._spent_map
+                    key = (neighbor, flow.dst, self._hm1)
+                    if (key in spent) if self._budget1 \
+                            else self._fh_budget <= spent.get(key, 0):
+                        # blocked: re-run the full picker (its fallback scans
+                        # for any other flow that still has credit)
+                        flow = self._pick_flow(t, neighbor)
+                if flow is not None:
+                    cell = self._emit_flow_cell(flow, t, phase, neighbor)
+
+        tokens: Tuple[Token, ...] = ()
+        if self.pending_tokens:
+            queue = self.token_return.get(neighbor)
+            if queue:
+                limit = self._tokens_per_header
+                if len(queue) <= limit:
+                    # common case: the whole backlog fits in one header
+                    tokens = tuple(queue)
+                    queue.clear()
+                    self.pending_tokens -= len(tokens)
+                else:
+                    out = []
+                    while len(out) < limit:
+                        out.append(queue.popleft())
+                    self.pending_tokens -= limit
+                    tokens = tuple(out)
+        ctrl: Tuple[ControlMessage, ...] = ()
+        if self.pending_ctrl:
+            queue = self.ctrl_out[link]
+            if queue:
+                out = []
+                while queue and len(out) < 2:
+                    out.append(queue.popleft())
+                self.pending_ctrl -= len(out)
+                ctrl = tuple(out)
         if cell is None and not tokens and not ctrl and not force:
             return None
         if cell is None:
             cell = Cell.make_dummy(self.node_id, neighbor)
-        return Transmission(self.node_id, neighbor, cell, tokens, ctrl)
+        pool = self._tx_pool
+        if pool:
+            tx = pool.pop()
+            tx.sender = node_id
+            tx.receiver = neighbor
+            tx.cell = cell
+            tx.tokens = tokens
+            tx.ctrl = ctrl
+            return tx
+        return Transmission(node_id, neighbor, cell, tokens, ctrl)
 
     def _probe_failed_neighbor(self, neighbor: int, phase: int,
                                offset: int) -> Transmission:
@@ -362,7 +633,7 @@ class Node:
         candidates = self.local_flows
         mode = self.mode
         chosen: Optional[Flow] = None
-        if mode == "priority":
+        if self._is_priority:
             best_rank = None
             for flow in candidates:
                 if flow.done_sending:
@@ -370,17 +641,35 @@ class Node:
                 rank = flow.arrival + flow.size_cells * self.epoch_length
                 if best_rank is None or rank < best_rank:
                     best_rank, chosen = rank, flow
-        else:
+        elif mode == "isd":
+            engine = self.engine
             for flow in candidates:
                 if flow.done_sending:
                     continue
-                if not self._transport_eligible(flow, t, neighbor):
+                if engine.isd_credit(flow, t):
+                    chosen = flow
+                    break
+        elif self.is_rd_family:
+            window = self.config.initial_window
+            for flow in candidates:
+                if flow.done_sending:
                     continue
-                chosen = flow
-                break
+                if flow.sent < window + flow.credit:
+                    chosen = flow
+                    break
+        else:
+            # every remaining mode admits unconditionally
+            for flow in candidates:
+                if not flow.done_sending:
+                    chosen = flow
+                    break
         if chosen is not None and self.uses_hbh:
-            bucket = (chosen.dst, self.h - 1)
-            if not self.ledger.can_send(neighbor, bucket, first_hop=True):
+            # can_send(..., first_hop=True) inlined: limit is always the
+            # first-hop budget regardless of the pair's _is_first marking
+            spent = self._spent_map
+            key = (neighbor, chosen.dst, self.h - 1)
+            if (key in spent) if self._budget1 \
+                    else self._fh_budget <= spent.get(key, 0):
                 # look for any other transport-eligible flow with credit
                 chosen = None
                 for flow in candidates:
@@ -408,25 +697,31 @@ class Node:
         return True
 
     def _emit_flow_cell(self, flow: Flow, t: int, phase: int, neighbor: int) -> Cell:
+        # positional args: Cell(src, dst, flow_id, seq, sprays, created, size)
         cell = Cell(
-            self.node_id,
-            flow.dst,
-            flow_id=flow.flow_id,
-            seq=flow.sent,
-            sprays_remaining=self.h - 1,
-            created_at=t,
-            flow_size=flow.size_cells,
+            self.node_id, flow.dst, flow.flow_id, flow.sent,
+            self.h - 1, t, flow.size_cells,
         )
         cell.prev_hop = self.node_id
         cell.hops = 1
         cell.spray_phase = (phase + 1) % self.h
         if self.uses_hbh:
-            self.ledger.charge(neighbor, (flow.dst, self.h - 1), first_hop=True)
+            # charge(..., first_hop=True) inlined; _pick_flow just verified
+            # the credit exists, so the over-budget branch cannot trigger
+            key = (neighbor, flow.dst, self.h - 1)
+            spent = self._spent_map
+            if self._budget1:
+                # with T == T_F the first-hop marking cannot change any
+                # budget decision, so the ledger skips maintaining it
+                spent[key] = 1
+            else:
+                self._is_first_map[key] = True
+                spent[key] = spent.get(key, 0) + 1
         if self.mode == "isd":
             flow.credit -= 1.0
         flow.sent += 1
-        self.engine.metrics.on_cell_injected()
-        if flow.done_sending:
+        self._metrics.cells_injected += 1
+        if flow.sent >= flow.size_cells:
             self._prune_local_flows()
         return cell
 
@@ -440,6 +735,7 @@ class Node:
             self.token_return[neighbor] = queue
         queue.append(token)
         self.pending_tokens += 1
+        self._active.add(self.node_id)
 
     def _pop_tokens(self, neighbor: int) -> Tuple[Token, ...]:
         queue = self.token_return.get(neighbor)
@@ -466,29 +762,61 @@ class Node:
     # RX path
 
     def receive(self, tx: Transmission, t: int, phase: int) -> None:
-        """Run the RX pipeline for a transmission arriving this slot."""
+        """Run the RX pipeline for a transmission arriving this slot.
+
+        Hot path: the regular-token credit/release of
+        :meth:`~repro.core.buckets.TokenLedger.credit` and
+        :meth:`~repro.core.buckets.ActiveBucketTracker.release` is inlined.
+        """
         sender = tx.sender
-        manager = self.engine.failure_manager
+        engine = self.engine
+        manager = engine.failure_manager
         complaint = False
         if tx.tokens:
+            uses_hbh = self.uses_hbh
+            if uses_hbh:
+                spent = self._spent_map
+                is_first = self._is_first_map
+                refcount = self._refcount_map
+                budget1 = self._budget1
             for token in tx.tokens:
                 if token.kind == TOKEN_REGULAR:
-                    if self.uses_hbh:
-                        self.ledger.credit(sender, token.bucket())
-                        self.bucket_tracker.release(token.bucket())
+                    if uses_hbh:
+                        dest = token.dest
+                        sprays = token.sprays
+                        key = (sender, dest, sprays)
+                        if budget1:
+                            # spent counts are always exactly one, and the
+                            # first-hop marking is never written in this mode
+                            spent.pop(key, None)
+                        else:
+                            used = spent.get(key, 0)
+                            if used > 0:
+                                if used == 1:
+                                    del spent[key]
+                                    is_first.pop(key, None)
+                                else:
+                                    spent[key] = used - 1
+                        bucket = (dest, sprays)
+                        count = refcount.get(bucket, 0)
+                        if count > 1:
+                            refcount[bucket] = count - 1
+                        elif count:
+                            del refcount[bucket]
                 else:
                     # failure-protocol tokens flow in every CC mode
                     if token.sprays >= 1 and token.kind == TOKEN_INVALIDATE \
                             and token.dest == sender:
                         complaint = True
-                    self.engine.failures_on_token(self, sender, token, phase)
+                    engine.failures_on_token(self, sender, token, phase)
         if manager is not None:
             # every arrival is a liveness observation: hearing the sender
             # clears a SILENT marking, and hearing it *without* a deafness
             # complaint clears a DEAF marking
-            manager.on_contact(self.engine, self, sender, t, complaint)
-        for msg in tx.ctrl:
-            self._handle_ctrl(msg, t, phase)
+            manager.on_contact(engine, self, sender, t, complaint)
+        if tx.ctrl:
+            for msg in tx.ctrl:
+                self._handle_ctrl(msg, t, phase)
         cell = tx.cell
         if cell is None or cell.dummy:
             return
@@ -500,12 +828,31 @@ class Node:
     def _deliver(self, cell: Cell, t: int) -> None:
         """Final-hop delivery: reorder queue + flow accounting + pulls."""
         engine = self.engine
-        engine.metrics.on_cell_delivered(self.node_id, t - cell.created_at)
+        # on_cell_delivered, inlined (this runs once per delivered cell)
+        metrics = self._metrics
+        metrics.cells_delivered += 1
+        metrics.payload_cells_delivered += 1
+        metrics._window_delivered += 1
+        per_node = metrics.delivered_per_node
+        nid = self.node_id
+        per_node[nid] = per_node.get(nid, 0) + 1
+        latencies = metrics.cell_latencies
+        if len(latencies) < metrics._cell_latency_cap:
+            latencies.append(t - cell.created_at)
+        if engine.digest is not None:
+            engine.digest.on_delivery(cell, t)
         if engine.tracer is not None:
             engine.tracer.on_deliver(cell, t)
         if engine.delivery_hook is not None:
             engine.delivery_hook(cell, t)
-        record = engine.flows.record_delivery(cell.flow_id, t)
+        # record_delivery inlined: count the cell, finalise only on the last
+        flows = engine.flows
+        flow = flows._active.get(cell.flow_id)
+        record = None
+        if flow is not None:
+            flow.delivered += 1
+            if flow.delivered >= flow.size_cells:
+                record = flows.finalize(flow, t)
         if self.is_rd_family and record is None:
             # flow still running: maybe request more cells from the sender
             count = self._recv_counts.get(cell.flow_id, 0) + 1
@@ -527,16 +874,82 @@ class Node:
         belong to the next phase, and using it would skip a coordinate in
         the spraying semi-path, breaking the EBS path structure.
         """
-        hint = cell.spray_phase if cell.spray_phase >= 0 \
-            else (arrival_phase + 1) % self.h
+        hint = cell.spray_phase
+        if hint < 0:
+            hint = (arrival_phase + 1) % self.h
         n = cell.sprays_remaining
         if n > 0:
             next_phase = hint
-            offset = self._choose_spray_offset(cell, next_phase)
-            if offset is None:
-                self.release_upstream(cell)
-                self.engine.metrics.on_drop()
-                return
+            # common case of _choose_spray_offset: plain VLB spraying with
+            # nothing to avoid is a single RNG draw
+            if not self.uses_spray_short and not self.failed_neighbors \
+                    and not self.known_failed:
+                # randrange(1, r) unrolled onto the raw generator
+                getrandbits = self._getrandbits
+                bits = self._spray_bits
+                rm1 = self._rm1
+                v = getrandbits(bits)
+                while v >= rm1:
+                    v = getrandbits(bits)
+                offset = v + 1
+            elif self.uses_spray_short and not self.failed_neighbors \
+                    and not self.known_failed:
+                # shortest-queue spraying with nothing to avoid, inlined
+                # from _choose_spray_offset's fast path; min/count/index do
+                # the scanning in C
+                lengths = list(map(len, self._phase_items[next_phase]))
+                shortest = min(lengths)
+                count = lengths.count(shortest)
+                if count == 1:
+                    offset = lengths.index(shortest) + 1
+                else:
+                    # randrange(count) unrolled onto the raw generator,
+                    # then walk to the drawn tie (same draw, same pick)
+                    getrandbits = self._getrandbits
+                    bits = count.bit_length()
+                    v = getrandbits(bits)
+                    while v >= count:
+                        v = getrandbits(bits)
+                    idx = lengths.index(shortest)
+                    while v:
+                        idx = lengths.index(shortest, idx + 1)
+                        v -= 1
+                    offset = idx + 1
+            else:
+                offset = self._choose_spray_offset(cell, next_phase)
+                if offset is None:
+                    self.release_upstream(cell)
+                    engine = self.engine
+                    engine.metrics.on_drop()
+                    if engine.digest is not None:
+                        engine.digest.on_drop(cell, t)
+                    return
+        elif not self.failed_neighbors and not self.known_failed \
+                and not self.link_invalid:
+            # direct hop with no failure state: _choose_direct_hop's loop
+            # inlined (no reroute/drop possible when the avoid sets are empty)
+            dst = cell.dst
+            h = self.h
+            r = self.r
+            weights = self._weights
+            my_digits = self._my_digits
+            p = hint
+            next_phase = -1
+            for _ in range(h):
+                mine = my_digits[p]
+                want = (dst // weights[p]) % r
+                if mine != want:
+                    next_phase = p
+                    offset = (want - mine) % r
+                    break
+                p += 1
+                if p >= h:
+                    p -= h
+            if next_phase < 0:
+                raise AssertionError(
+                    f"direct-hop cell for {dst} already at destination "
+                    f"{self.node_id}"
+                )
         else:
             hop = self._choose_direct_hop(cell, hint)
             if hop is None:
@@ -544,45 +957,74 @@ class Node:
             next_phase, offset = hop
             n = cell.sprays_remaining  # may have been reset by a reroute
         cell.spray_phase = (next_phase + 1) % self.h
-        link = self.link_index(next_phase, offset)
-        queue = self.link_queues[link]
-        if self.is_ndp and len(queue) >= self.config.ndp_queue_limit:
+        queue = self.link_queues[next_phase * self._rm1 + offset - 1]
+        items = queue._items
+        if self.is_ndp and len(items) >= self.config.ndp_queue_limit:
             self._trim(cell, t)
             return
-        rank = 0
-        if self.mode == "priority":
-            rank = cell.created_at + cell.flow_size * self.epoch_length
         cell.enqueued_at = t
-        queue.push(cell, rank)
+        if self._is_priority:
+            # ranked push (the only mode with non-zero ranks)
+            queue.push(
+                cell, cell.created_at + cell.flow_size * self.epoch_length
+            )
+            length = len(items)
+        else:
+            # PieoQueue.push inlined for the bare-cell fifo representation
+            # (node send queues are uncapped): a plain append
+            items.append(cell)
+            length = len(items)
+            if length > queue.peak_occupancy:
+                queue.peak_occupancy = length
         self.total_enqueued += 1
+        self._active.add(self.node_id)
         if self.uses_hbh:
-            self.bucket_tracker.acquire((cell.dst, n))
-        self.engine.metrics.on_queue_length(len(queue))
+            tracker = self.bucket_tracker
+            refcount = self._refcount_map
+            bucket = (cell.dst, n)
+            count = refcount.get(bucket, 0) + 1
+            refcount[bucket] = count
+            if count == 1 and len(refcount) > tracker.peak:
+                tracker.peak = len(refcount)
+        metrics = self._metrics
+        if length > metrics.max_queue_length:
+            metrics.max_queue_length = length
 
     def _choose_spray_offset(self, cell: Cell, phase: int) -> Optional[int]:
         """Pick the spraying next hop: random, or shortest-queue (spray-short)."""
         neighbors = self.neighbors[phase]
         avoid = self.failed_neighbors or self.known_failed
-        base = self.link_index(phase, 1)
+        base = phase * self._rm1
         if self.uses_spray_short:
+            queues = self.link_queues
             best_offsets: List[int] = []
             best_len = None
-            for i, nb in enumerate(neighbors):
-                if nb in self.failed_neighbors or nb in self.known_failed:
-                    continue
-                length = len(self.link_queues[base + i])
-                if best_len is None or length < best_len:
-                    best_len = length
-                    best_offsets = [i + 1]
-                elif length == best_len:
-                    best_offsets.append(i + 1)
+            if not avoid:
+                # fast path: every neighbour is a candidate
+                for i in range(self._rm1):
+                    length = len(queues[base + i]._items)
+                    if best_len is None or length < best_len:
+                        best_len = length
+                        best_offsets = [i + 1]
+                    elif length == best_len:
+                        best_offsets.append(i + 1)
+            else:
+                for i, nb in enumerate(neighbors):
+                    if nb in self.failed_neighbors or nb in self.known_failed:
+                        continue
+                    length = len(queues[base + i]._items)
+                    if best_len is None or length < best_len:
+                        best_len = length
+                        best_offsets = [i + 1]
+                    elif length == best_len:
+                        best_offsets.append(i + 1)
             if not best_offsets:
                 return None
             if len(best_offsets) == 1:
                 return best_offsets[0]
-            return best_offsets[self.rng.randrange(len(best_offsets))]
+            return best_offsets[self._randrange(len(best_offsets))]
         if not avoid:
-            return self.rng.randrange(1, self.r)
+            return self._randrange(1, self.r)
         options = [
             i + 1
             for i, nb in enumerate(neighbors)
@@ -590,7 +1032,7 @@ class Node:
         ]
         if not options:
             return None
-        return options[self.rng.randrange(len(options))]
+        return options[self._randrange(len(options))]
 
     def _choose_direct_hop(self, cell: Cell, start_phase: int) -> Optional[Tuple[int, int]]:
         """Pick the next direct hop phase/offset, handling failed routes.
@@ -599,22 +1041,28 @@ class Node:
         the previous hop's wire phase).  Returns ``None`` when the cell was
         dropped instead.
         """
-        coords = self.coords
         dst = cell.dst
-        for i in range(self.h):
-            p = (start_phase + i) % self.h
-            mine = coords.coordinate(self.node_id, p)
-            want = coords.coordinate(dst, p)
+        h = self.h
+        r = self.r
+        weights = self._weights
+        my_digits = self._my_digits
+        for i in range(h):
+            p = start_phase + i
+            if p >= h:
+                p -= h
+            mine = my_digits[p]
+            weight = weights[p]
+            want = (dst // weight) % r
             if mine == want:
                 continue
-            target = coords.with_coordinate(self.node_id, p, want)
+            target = self.node_id + (want - mine) * weight
             if (
-                target in self.failed_neighbors
-                or target in self.known_failed
+                (self.failed_neighbors and target in self.failed_neighbors)
+                or (self.known_failed and target in self.known_failed)
                 or (self.link_invalid and (target, dst) in self.link_invalid)
             ):
                 return self._reroute_around_failure(cell, target, p)
-            return p, (want - mine) % self.r
+            return p, (want - mine) % r
         # all coordinates already match: this IS the destination — but then
         # receive() would have delivered it.  Treat as corrupt state.
         raise AssertionError(
@@ -651,6 +1099,8 @@ class Node:
             self.engine.tracer.on_reroute(cell)
         if failed_target == cell.dst:
             self.engine.metrics.on_drop()
+            if self.engine.digest is not None:
+                self.engine.digest.on_drop(cell, self.engine.t)
             return None
         # Reset to the first spraying hop: the cell will take h spray hops
         # from here (its bucket index at this node becomes h transiently).
@@ -659,6 +1109,8 @@ class Node:
         offset = self._choose_spray_offset(cell, next_phase)
         if offset is None:
             self.engine.metrics.on_drop()
+            if self.engine.digest is not None:
+                self.engine.digest.on_drop(cell, self.engine.t)
             return None
         return next_phase, offset
 
@@ -673,6 +1125,7 @@ class Node:
         link = self.link_index(phase, offset)
         self.ctrl_out[link].append(msg)
         self.pending_ctrl += 1
+        self._active.add(self.node_id)
         self.engine.metrics.control_messages += 1
 
     def _handle_ctrl(self, msg: ControlMessage, t: int, arrival_phase: int) -> None:
@@ -702,6 +1155,7 @@ class Node:
         link = self.link_index(phase, offset)
         self.ctrl_out[link].append(msg)
         self.pending_ctrl += 1
+        self._active.add(self.node_id)
 
     def _consume_ctrl(self, msg: ControlMessage, t: int) -> None:
         if msg.kind == CTRL_PROBE:
@@ -710,6 +1164,7 @@ class Node:
             # carry no probe marker, which is what stops two healthy idle
             # nodes from ping-ponging dummies forever.
             self._force_dummy.add(msg.src)
+            self._active.add(self.node_id)
             return
         if msg.kind == CTRL_PULL:
             flow = self.engine.flows.get(msg.flow_id)
@@ -723,6 +1178,7 @@ class Node:
             )
         elif msg.kind == CTRL_RTX:
             self.rtx_queue.append((msg.flow_id, msg.src, msg.seq))
+            self._active.add(self.node_id)
 
     def _trim(self, cell: Cell, t: int) -> None:
         """NDP trimming: drop the payload, forward the header as control."""
@@ -745,12 +1201,15 @@ class Node:
         data — the host still has it — and simply resume sending.
         """
         metrics = self.engine.metrics
+        digest = self.engine.digest
         dropped = 0
         for queue in self.link_queues:
             stale = queue.remove_if(lambda c: True)
             dropped += len(stale)
             for cell in stale:
                 cell.prev_hop = -1
+                if digest is not None:
+                    digest.on_drop(cell, t)
         if dropped:
             metrics.on_drop(dropped)
         self.total_enqueued = 0
@@ -772,6 +1231,9 @@ class Node:
                 first_hop_budget=self.config.first_hop_token_budget,
             )
             self.bucket_tracker = ActiveBucketTracker()
+            self._cache_hbh_state()
+        # the node may resume sending its surviving local flows immediately
+        self._active.add(self.node_id)
 
     # ------------------------------------------------------------------ #
     # metrics

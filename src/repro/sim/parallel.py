@@ -66,7 +66,11 @@ def sweep(
     # is unavailable (e.g. restricted sandboxes).
     try:
         context = multiprocessing.get_context("fork")
-        with context.Pool(processes=min(workers, len(cells))) as pool:
-            return pool.map(_invoke, payloads)
+        pool_size = min(workers, len(cells))
+        # chunked dispatch amortises IPC overhead across grid cells while
+        # still leaving ~4 chunks per worker for load balancing
+        chunksize = max(1, len(cells) // (pool_size * 4))
+        with context.Pool(processes=pool_size) as pool:
+            return pool.map(_invoke, payloads, chunksize=chunksize)
     except (OSError, ValueError):
         return [fn(**cell) for cell in cells]

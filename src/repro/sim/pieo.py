@@ -34,15 +34,24 @@ class PieoQueue(Generic[T]):
         capacity: optional maximum occupancy; ``push`` raises
             ``OverflowError`` beyond it (models the fixed-size on-chip PIEO
             storage of the FPGA prototype).
+        fifo: when True the queue promises every rank is 0 and stores bare
+            elements instead of ``(rank, seq, element)`` entries.  Ordering
+            is unchanged (rank-0 PIEO extraction *is* FIFO order); the flat
+            representation just skips one tuple allocation and one
+            indexing step per element on the simulator's hot path.  Pushing
+            a non-zero rank into a fifo queue raises ``ValueError``.
     """
 
-    __slots__ = ("_items", "_seq", "capacity", "peak_occupancy")
+    __slots__ = ("_items", "_seq", "capacity", "fifo", "peak_occupancy")
 
-    def __init__(self, capacity: Optional[int] = None):
-        # list of (rank, seq, element), kept sorted by (rank, seq)
-        self._items: List[Tuple[int, int, T]] = []
+    def __init__(self, capacity: Optional[int] = None, fifo: bool = False):
+        # fifo: list of elements; ranked: list of (rank, seq, element)
+        # kept sorted by (rank, seq).  The list object's identity is stable
+        # for the queue's lifetime (hot paths hold direct references).
+        self._items: List = []
         self._seq = 0
         self.capacity = capacity
+        self.fifo = fifo
         self.peak_occupancy = 0
 
     def __len__(self) -> int:
@@ -52,28 +61,46 @@ class PieoQueue(Generic[T]):
         return bool(self._items)
 
     def __iter__(self) -> Iterable[T]:
+        if self.fifo:
+            return iter(self._items)
         return (element for _, _, element in self._items)
 
     def push(self, element: T, rank: int = 0) -> None:
         """Insert ``element`` at its rank position (stable among equals)."""
-        if self.capacity is not None and len(self._items) >= self.capacity:
+        items = self._items
+        if self.capacity is not None and len(items) >= self.capacity:
             raise OverflowError(
                 f"PIEO queue full (capacity {self.capacity})"
             )
+        if self.fifo:
+            if rank != 0:
+                raise ValueError("fifo PieoQueue only accepts rank 0")
+            items.append(element)
+            if len(items) > self.peak_occupancy:
+                self.peak_occupancy = len(items)
+            return
         entry = (rank, self._seq, element)
         self._seq += 1
-        # Binary search for the insertion point keeps push O(log n) compare +
-        # O(n) shift, matching the "push in" of the hardware (which does it
-        # in O(1) with a shift register).
-        items = self._items
-        lo, hi = 0, len(items)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if items[mid][:2] <= entry[:2]:
-                lo = mid + 1
-            else:
-                hi = mid
-        items.insert(lo, entry)
+        # Arrival sequence numbers strictly increase, so a rank no smaller
+        # than the current tail's always belongs at the end — the common
+        # case (FIFO ranks) is a plain append.
+        if not items or items[-1][0] <= rank:
+            items.append(entry)
+        else:
+            # Binary search for the insertion point keeps push O(log n)
+            # compare + O(n) shift, matching the "push in" of the hardware
+            # (which does it in O(1) with a shift register).
+            lo, hi = 0, len(items)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                mid_entry = items[mid]
+                if mid_entry[0] < rank or (
+                    mid_entry[0] == rank and mid_entry[1] < entry[1]
+                ):
+                    lo = mid + 1
+                else:
+                    hi = mid
+            items.insert(lo, entry)
         if len(items) > self.peak_occupancy:
             self.peak_occupancy = len(items)
 
@@ -87,6 +114,12 @@ class PieoQueue(Generic[T]):
         eligibility test followed by a priority encoder.
         """
         items = self._items
+        if self.fifo:
+            for i, element in enumerate(items):
+                if eligible(element):
+                    del items[i]
+                    return element
+            return None
         for i, (_, _, element) in enumerate(items):
             if eligible(element):
                 del items[i]
@@ -95,7 +128,7 @@ class PieoQueue(Generic[T]):
 
     def first_eligible(self, eligible: Callable[[T], bool]) -> Optional[T]:
         """Peek at the first eligible element without removing it."""
-        for _, _, element in self._items:
+        for element in self:
             if eligible(element):
                 return element
         return None
@@ -104,30 +137,49 @@ class PieoQueue(Generic[T]):
         """Remove and return the head element unconditionally (FIFO pop)."""
         if not self._items:
             return None
-        return self._items.pop(0)[2]
+        head = self._items.pop(0)
+        return head if self.fifo else head[2]
 
     def peek_head(self) -> Optional[T]:
         """Return the head element without removing it."""
-        return self._items[0][2] if self._items else None
+        if not self._items:
+            return None
+        return self._items[0] if self.fifo else self._items[0][2]
 
     def remove(self, element: T) -> bool:
         """Remove the first occurrence of ``element``; True if found."""
-        for i, (_, _, existing) in enumerate(self._items):
+        items = self._items
+        if self.fifo:
+            for i, existing in enumerate(items):
+                if existing == element:
+                    del items[i]
+                    return True
+            return False
+        for i, (_, _, existing) in enumerate(items):
             if existing == element:
-                del self._items[i]
+                del items[i]
                 return True
         return False
 
     def remove_if(self, predicate: Callable[[T], bool]) -> List[T]:
         """Remove and return every element matching ``predicate``."""
-        kept: List[Tuple[int, int, T]] = []
+        kept: List = []
         removed: List[T] = []
-        for entry in self._items:
-            if predicate(entry[2]):
-                removed.append(entry[2])
-            else:
-                kept.append(entry)
-        self._items = kept
+        if self.fifo:
+            for element in self._items:
+                if predicate(element):
+                    removed.append(element)
+                else:
+                    kept.append(element)
+        else:
+            for entry in self._items:
+                if predicate(entry[2]):
+                    removed.append(entry[2])
+                else:
+                    kept.append(entry)
+        # in-place so the list object's identity is stable (hot paths hold
+        # direct references to it)
+        self._items[:] = kept
         return removed
 
     def clear(self) -> None:

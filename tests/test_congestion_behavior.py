@@ -106,7 +106,7 @@ class TestHopByHopInvariant:
         max_tokens = 0
         for _ in range(1500):
             engine.step()
-            for _, tx in engine._in_flight:
+            for tx in engine._in_flight:
                 max_tokens = max(max_tokens, len(tx.tokens))
         assert 0 < max_tokens <= 2
 

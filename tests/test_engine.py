@@ -189,3 +189,68 @@ class TestDummyAndTokens:
         cfg, engine = make_engine(duration=500)
         engine.run()
         assert engine.metrics.cells_sent == 0
+
+
+class TestQuiescenceDeadline:
+    def test_max_extra_stops_with_traffic_pending(self):
+        # a flow arriving far beyond the deadline must not keep the loop
+        # alive: run_until_quiescent gives up at max_extra with the flow
+        # still pending
+        cfg, engine = make_engine()
+        engine.schedule_flows(single_flow_workload(0, 15, 20, arrival=10_000))
+        engine.run_until_quiescent(max_extra=50)
+        assert engine.t == 50
+        assert engine._pending_flows
+        assert len(engine.flows.completed) == 0
+        # the deadline is relative to the current time, so a later call can
+        # still finish the run
+        engine.run_until_quiescent(max_extra=50_000)
+        assert len(engine.flows.completed) == 1
+
+
+class TestWireDrop:
+    def test_wire_drop_restores_one_hbh_credit(self):
+        cfg, engine = make_engine(cc="hbh+spray", n=16)
+        engine.schedule_flows(permutation_workload(cfg, 200))
+        # step until a charged (non-final-hop) payload cell is on the wire
+        victim = None
+        for _ in range(500):
+            engine.step()
+            for tx in engine._in_flight:
+                cell = tx.cell
+                if cell is not None and not cell.dummy \
+                        and tx.receiver != cell.dst:
+                    victim = tx
+                    break
+            if victim is not None:
+                break
+        assert victim is not None, "no non-final-hop payload cell in flight"
+        sender = engine.nodes[victim.sender]
+        before = sender.ledger.outstanding()
+        losses = engine.metrics.wire_losses
+        engine.wire_drop(victim)
+        # exactly the one token charged for this cell's next-hop bucket is
+        # healed, and the loss is accounted
+        assert sender.ledger.outstanding() == before - 1
+        assert engine.metrics.wire_losses == losses + 1
+
+    def test_wire_drop_final_hop_leaves_ledger_alone(self):
+        cfg, engine = make_engine(cc="hbh+spray", n=16)
+        engine.schedule_flows(permutation_workload(cfg, 200))
+        victim = None
+        for _ in range(500):
+            engine.step()
+            for tx in engine._in_flight:
+                cell = tx.cell
+                if cell is not None and not cell.dummy \
+                        and tx.receiver == cell.dst:
+                    victim = tx
+                    break
+            if victim is not None:
+                break
+        assert victim is not None, "no final-hop payload cell in flight"
+        sender = engine.nodes[victim.sender]
+        before = sender.ledger.outstanding()
+        engine.wire_drop(victim)
+        # final hops are never charged, so there is nothing to heal
+        assert sender.ledger.outstanding() == before

@@ -112,7 +112,7 @@ class TestInitialFailures:
     def test_failed_nodes_never_transmit(self):
         cfg, engine, _ = build(failed=[3])
         engine.run(duration=200)
-        for _, tx in engine._in_flight:
+        for tx in engine._in_flight:
             assert tx.sender != 3
 
 
@@ -148,7 +148,7 @@ class TestRoutingAroundFailures:
             engine.step()
             if engine.t <= SETTLE:
                 continue  # pre-detection sprays may still hit the hole
-            for _, tx in engine._in_flight:
+            for tx in engine._in_flight:
                 if tx.receiver == 5:
                     # only liveness probes may cross a detected-dead link
                     assert tx.cell.dummy

@@ -1,0 +1,129 @@
+"""Golden-trace equivalence tests for the simulator hot path.
+
+Each scenario runs one engine at a fixed seed with a
+:class:`~repro.sim.digest.DeterminismDigest` attached and asserts that the
+event digest — every delivery, drop, wire loss and token transmission, in
+order — plus the headline metrics match the values recorded *before* the
+hot-path optimization landed (``tests/data/golden_traces.json``).  A digest
+mismatch means the engine is no longer event-identical to the reference
+implementation at that seed, which is exactly the regression these tests
+exist to catch.
+
+Regenerating the goldens (only legitimate when simulated *behavior* is
+intentionally changed, never for a pure optimization)::
+
+    PYTHONPATH=src python tests/test_golden_traces.py --record
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.failures.manager import FailureEvent, FailureManager
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine
+from repro.workloads.generators import permutation_workload
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_traces.json"
+
+#: the four congestion-control mechanisms the goldens pin down
+MECHANISMS = ("none", "hop-by-hop", "hbh+spray", "isd")
+
+#: scenario name -> engine-building parameters
+SCENARIOS = {
+    "n16_seed1": dict(n=16, h=2, seed=1, duration=500, size_cells=30),
+    "n16_seed7": dict(n=16, h=2, seed=7, duration=500, size_cells=30),
+    "n64_seed3": dict(n=64, h=2, seed=3, duration=400, size_cells=20),
+    "n16_nodefail": dict(n=16, h=2, seed=5, duration=600, size_cells=30,
+                         fail_node=5, fail_at=120, recover_at=400),
+}
+
+
+def run_scenario(cc: str, params: dict) -> dict:
+    """Run one golden scenario and return its digest + headline metrics."""
+    cfg = SimConfig(
+        n=params["n"],
+        h=params["h"],
+        seed=params["seed"],
+        duration=params["duration"],
+        propagation_delay=4,
+        congestion_control=cc,
+    )
+    manager = None
+    if "fail_node" in params:
+        manager = FailureManager(events=[
+            FailureEvent(params["fail_at"], params["fail_node"], failed=True),
+            FailureEvent(params["recover_at"], params["fail_node"],
+                         failed=False),
+        ])
+    workload = permutation_workload(cfg, params["size_cells"])
+    engine = Engine(cfg, workload=workload, failure_manager=manager)
+    digest = engine.enable_digest()
+    engine.run(cfg.duration)
+    fcts = [record.fct for record in engine.flows.completed]
+    return {
+        "digest": digest.hexdigest(),
+        "events": digest.events,
+        "delivered": engine.metrics.payload_cells_delivered,
+        "dropped": engine.metrics.cells_dropped,
+        "fct_sum": sum(fcts),
+        "fct_count": len(fcts),
+    }
+
+
+def _load_goldens() -> dict:
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("cc", MECHANISMS)
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_golden_trace(cc, scenario):
+    golden = _load_goldens()[scenario][cc]
+    result = run_scenario(cc, SCENARIOS[scenario])
+    mean_fct = (result["fct_sum"] / result["fct_count"]
+                if result["fct_count"] else 0.0)
+    golden_mean = (golden["fct_sum"] / golden["fct_count"]
+                   if golden["fct_count"] else 0.0)
+    assert result == golden, (
+        f"{scenario}/{cc}: engine diverged from the pre-optimization "
+        f"reference (digest {result['digest']} != {golden['digest']}; "
+        f"delivered {result['delivered']} vs {golden['delivered']}, "
+        f"dropped {result['dropped']} vs {golden['dropped']}, "
+        f"mean FCT {mean_fct:.2f} vs {golden_mean:.2f})"
+    )
+
+
+def test_goldens_cover_all_mechanisms():
+    goldens = _load_goldens()
+    for scenario in SCENARIOS:
+        assert set(goldens[scenario]) == set(MECHANISMS)
+
+
+def test_digest_sensitive_to_events():
+    """Sanity: the digest actually distinguishes different event streams."""
+    base = run_scenario("none", SCENARIOS["n16_seed1"])
+    other_seed = run_scenario("none", SCENARIOS["n16_seed7"])
+    assert base["digest"] != other_seed["digest"]
+
+
+def _record() -> None:
+    goldens = {}
+    for scenario, params in SCENARIOS.items():
+        goldens[scenario] = {}
+        for cc in MECHANISMS:
+            goldens[scenario][cc] = run_scenario(cc, params)
+            print(f"{scenario:14s} {cc:10s} {goldens[scenario][cc]['digest']}")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--record" in sys.argv:
+        _record()
+    else:
+        sys.exit("usage: python tests/test_golden_traces.py --record")
