@@ -165,6 +165,10 @@ class ActiveBucketTracker:
         """Number of currently active buckets."""
         return len(self._refcount)
 
+    def __len__(self) -> int:
+        """Number of currently active buckets (same as :attr:`active`)."""
+        return len(self._refcount)
+
     def active_buckets(self) -> Iterable[BucketId]:
         """Iterate the currently active bucket ids."""
         return self._refcount.keys()

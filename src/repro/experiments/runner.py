@@ -6,23 +6,42 @@ Usage::
     python -m repro.experiments.runner fig01
     python -m repro.experiments.runner fig11 --set n=64 --set duration=60000
     python -m repro.experiments.runner all --out results/
+    python -m repro.experiments.runner fig08 --telemetry out/
 
 ``--set key=value`` forwards keyword arguments to the experiment's ``run()``
 (values are parsed as Python literals, so ``--set h_values=(2,4)`` works).
+During an ``all`` sweep each override is applied to every experiment whose
+``run()`` accepts the key (checked via ``inspect.signature``); experiments
+that don't accept it are skipped with a warning rather than silently
+dropping the override.
+
+``--telemetry DIR`` instruments every engine the experiments build (see
+:mod:`repro.obs`) and writes machine-readable artifacts next to the text
+reports: ``<experiment>.json`` (result + per-run summary/series/manifest,
+byte-identical across runs with the same seed), ``<experiment>.runtime.json``
+(wall clock, slots/sec, peak RSS) and ``<experiment>.events.jsonl`` (the
+structured event log).
+
+A failing experiment no longer aborts an ``all`` sweep: the failure is
+reported, the remaining experiments still run, and the exit status is
+non-zero.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import inspect
 import pathlib
 import sys
 import time
-from typing import Any, Dict, List, Optional
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
 
 from . import ALL_EXPERIMENTS
 
-__all__ = ["main", "run_experiment"]
+__all__ = ["main", "run_experiment", "run_experiment_result",
+           "split_overrides"]
 
 
 def _parse_overrides(pairs: List[str]) -> Dict[str, Any]:
@@ -40,15 +59,69 @@ def _parse_overrides(pairs: List[str]) -> Dict[str, Any]:
     return out
 
 
-def run_experiment(name: str, overrides: Optional[Dict[str, Any]] = None) -> str:
-    """Run one experiment and return its text report."""
+def split_overrides(
+    module, overrides: Dict[str, Any]
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Partition ``overrides`` into (accepted, rejected) for ``module.run``.
+
+    A ``run()`` taking ``**kwargs`` accepts everything.
+    """
+    params = inspect.signature(module.run).parameters
+    if any(p.kind == inspect.Parameter.VAR_KEYWORD
+           for p in params.values()):
+        return dict(overrides), {}
+    accepted = {k: v for k, v in overrides.items() if k in params}
+    rejected = {k: v for k, v in overrides.items() if k not in params}
+    return accepted, rejected
+
+
+def run_experiment_result(
+    name: str, overrides: Optional[Dict[str, Any]] = None
+) -> Tuple[Any, str]:
+    """Run one experiment; return ``(result object, text report)``."""
     module = ALL_EXPERIMENTS.get(name)
     if module is None:
         raise KeyError(
             f"unknown experiment {name!r}; known: {sorted(ALL_EXPERIMENTS)}"
         )
     result = module.run(**(overrides or {}))
-    return module.report(result)
+    return result, module.report(result)
+
+
+def run_experiment(name: str, overrides: Optional[Dict[str, Any]] = None) -> str:
+    """Run one experiment and return its text report."""
+    return run_experiment_result(name, overrides)[1]
+
+
+def _write_telemetry(directory: pathlib.Path, name: str, result: Any,
+                     overrides: Dict[str, Any], capture) -> None:
+    """Write the machine-readable artifacts for one experiment.
+
+    ``<name>.json`` holds only deterministic data (result, summaries,
+    series, run manifests) and is byte-identical across runs with the same
+    seed; volatile measurements go to ``<name>.runtime.json`` and the event
+    stream to ``<name>.events.jsonl``.
+    """
+    from ..obs.events import encode_event
+    from ..obs.serialize import canonical_json, to_jsonable
+
+    runs, runtimes, events = capture.collect_bundle()
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": 1,
+        "experiment": name,
+        "overrides": to_jsonable(overrides),
+        "result": to_jsonable(result),
+        "runs": runs,
+    }
+    (directory / f"{name}.json").write_text(canonical_json(payload) + "\n")
+    (directory / f"{name}.runtime.json").write_text(
+        canonical_json({"experiment": name, "runs": runtimes}) + "\n"
+    )
+    with (directory / f"{name}.events.jsonl").open("w") as fh:
+        for record in events:
+            fh.write(encode_event(record))
+            fh.write("\n")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -78,6 +151,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="directory to write <experiment>.txt reports into",
     )
+    parser.add_argument(
+        "--telemetry",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="instrument the runs and write <experiment>.json results, "
+             "time series, manifests and event logs into DIR",
+    )
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
@@ -87,19 +168,57 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:8s} {summary}")
         return 0
 
+    if args.experiment != "all" and args.experiment not in ALL_EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"known: {sorted(ALL_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+
     names = (
         sorted(ALL_EXPERIMENTS) if args.experiment == "all"
         else [args.experiment]
     )
     overrides = _parse_overrides(args.overrides)
-    status = 0
-    for name in names:
+    sweep_mode = len(names) > 1
+    failed: List[str] = []
+    for index, name in enumerate(names, 1):
+        module = ALL_EXPERIMENTS[name]
+        if sweep_mode:
+            # apply each override to every experiment that accepts the key;
+            # warn about the rest instead of silently dropping everything
+            accepted, rejected = split_overrides(module, overrides)
+            if rejected:
+                print(
+                    f"[{name}] run() does not accept override(s): "
+                    f"{', '.join(sorted(rejected))} (skipped for this "
+                    f"experiment)",
+                    file=sys.stderr,
+                )
+            print(
+                f"[{index}/{len(names)}] {name} ...",
+                file=sys.stderr, flush=True,
+            )
+        else:
+            accepted = overrides  # single run: let unknown keys fail loudly
         started = time.time()
+        capture = None
         try:
-            report = run_experiment(name, overrides if len(names) == 1 else {})
-        except KeyError as exc:
-            print(exc, file=sys.stderr)
-            return 2
+            if args.telemetry is not None:
+                from ..obs.capture import TelemetryCapture
+
+                with TelemetryCapture() as capture:
+                    result, report = run_experiment_result(name, accepted)
+            else:
+                result, report = run_experiment_result(name, accepted)
+        except Exception:
+            # one broken experiment must not abort the whole sweep
+            failed.append(name)
+            traceback.print_exc()
+            print(f"[{name} FAILED after {time.time() - started:.1f}s]",
+                  file=sys.stderr)
+            continue
         elapsed = time.time() - started
         print(report)
         print(f"[{name} finished in {elapsed:.1f}s]")
@@ -107,7 +226,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
             (args.out / f"{name}.txt").write_text(report + "\n")
-    return status
+        if args.telemetry is not None:
+            _write_telemetry(args.telemetry, name, result, accepted, capture)
+    if failed:
+        print(
+            f"{len(failed)} of {len(names)} experiment(s) failed: "
+            f"{', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -252,6 +252,10 @@ class FailureManager:
             "target": target,
             "drops_before": engine.metrics.cells_dropped,
         })
+        if engine.events is not None:
+            engine.events.emit(t, "failure_event", {
+                "action": action, "kind": kind, "target": list(target),
+            })
 
     def _fail_node(self, engine, node_id: int, t: int) -> None:
         node = engine.nodes[node_id]
@@ -366,6 +370,12 @@ class FailureManager:
             self.detections.append((t, node.node_id, neighbor))
         else:
             self.deaf_notices.append((t, node.node_id, neighbor))
+        events = self._engine.events if self._engine is not None else None
+        if events is not None:
+            events.emit(t, "detection", {
+                "detector": node.node_id, "neighbor": neighbor,
+                "cause": "silent" if cause == LINK_SILENT else "deaf",
+            })
         if mask:
             return  # already reacting because of the other cause
         node.failed_neighbors.add(neighbor)
@@ -389,6 +399,11 @@ class FailureManager:
         del node._fail_cause[neighbor]
         node.failed_neighbors.discard(neighbor)
         self.undetects.append((t, node.node_id, neighbor))
+        events = self._engine.events if self._engine is not None else None
+        if events is not None:
+            events.emit(t, "revalidation", {
+                "node": node.node_id, "neighbor": neighbor,
+            })
         if self.propagate:
             self._reevaluate_routes_up(engine, node, neighbor, t)
 

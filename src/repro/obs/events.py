@@ -1,0 +1,149 @@
+"""Structured run events: one ``(t, kind, payload)`` stream, pluggable sinks.
+
+Before this module the simulator's event streams were ad hoc: the failure
+manager kept tuples in lists, the run monitor kept violation dicts, flow
+lifecycle was only visible through the flow table.  :class:`EventLog`
+unifies them: producers call ``emit(t, kind, payload)`` and every attached
+sink sees the same record.  Serialisation is canonical (sorted keys, compact
+separators), so two runs with the same seed write byte-identical JSONL.
+
+Event kinds currently emitted by the instrumented simulator:
+
+``flow_start`` / ``flow_end``
+    flow admitted at its sender / last cell delivered (payload carries the
+    flow id, endpoints, size and — on completion — the FCT).
+``conservation_violation`` / ``stall``
+    :class:`~repro.sim.monitor.RunMonitor` findings, as they happen.
+``failure_event`` / ``detection`` / ``revalidation``
+    :class:`~repro.failures.manager.FailureManager` activity: injected
+    fail/recover events, missed-cell and deafness detections, and cell-driven
+    link re-validations.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+__all__ = ["EventLog", "FileSink", "RingSink", "CallbackSink",
+           "encode_event", "read_jsonl"]
+
+
+def encode_event(record: Dict[str, object]) -> str:
+    """One event as a canonical JSON line (no trailing newline)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+
+
+def read_jsonl(path) -> List[Dict[str, object]]:
+    """Parse a JSONL event file back into records (round-trip helper)."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class FileSink:
+    """Appends each event as one JSON line to ``path``.
+
+    The file is opened lazily on the first event and truncated then, so an
+    engine that emits nothing leaves no file behind.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._fh = None
+
+    def write(self, record: Dict[str, object]) -> None:
+        if self._fh is None:
+            self._fh = open(self.path, "w")
+        self._fh.write(encode_event(record))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class RingSink:
+    """Keeps the last ``capacity`` events in memory (all of them when None)."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        self._ring: Deque[Dict[str, object]] = deque(maxlen=capacity)
+
+    def write(self, record: Dict[str, object]) -> None:
+        self._ring.append(record)
+
+    @property
+    def records(self) -> List[Dict[str, object]]:
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+
+class CallbackSink:
+    """Forwards every event record to ``fn(record)``."""
+
+    def __init__(self, fn: Callable[[Dict[str, object]], None]):
+        self._fn = fn
+
+    def write(self, record: Dict[str, object]) -> None:
+        self._fn(record)
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+
+class EventLog:
+    """The structured event stream of one run.
+
+    Attach to an engine with :meth:`attach` (or assign to ``engine.events``);
+    producers inside the simulator emit through it only when one is attached,
+    so the un-instrumented hot path pays a single ``is None`` check.
+
+    Args:
+        sinks: initial sinks; more can be added with :meth:`add_sink`.
+    """
+
+    __slots__ = ("_sinks", "count")
+
+    def __init__(self, sinks: Sequence[object] = ()):
+        self._sinks = list(sinks)
+        #: events emitted so far (cheap determinism cross-check)
+        self.count = 0
+
+    def attach(self, engine) -> "EventLog":
+        """Install this log on ``engine`` and return it."""
+        engine.events = self
+        return self
+
+    def add_sink(self, sink) -> "EventLog":
+        self._sinks.append(sink)
+        return self
+
+    def emit(self, t: int, kind: str, payload: Dict[str, object]) -> None:
+        """Record one event at timeslot ``t``."""
+        record = {"t": t, "kind": kind, "payload": payload}
+        self.count += 1
+        for sink in self._sinks:
+            sink.write(record)
+
+    def close(self) -> None:
+        """Close every sink (flushes file sinks)."""
+        for sink in self._sinks:
+            sink.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

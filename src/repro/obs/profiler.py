@@ -1,0 +1,95 @@
+"""Per-section wall-clock accounting of the engine step.
+
+When attached (``engine.enable_profiler()``), the engine runs a timed twin
+of its step loop that brackets each section — failure-manager advance,
+delivery, injection, TX, metrics sampling, monitor — with a monotonic
+clock.  When not attached the engine runs its normal step, so the feature
+costs nothing unless asked for (the run loop dispatches once, not per
+slot).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+__all__ = ["StepProfiler"]
+
+#: engine step sections, in execution order
+SECTIONS = ("faults", "deliver", "inject", "tx", "sample", "monitor")
+
+
+class StepProfiler:
+    """Accumulates wall-clock time per engine-step section.
+
+    Attributes:
+        steps: timed steps so far.
+        totals: section name -> cumulative seconds.
+    """
+
+    __slots__ = ("steps", "totals", "clock")
+
+    def __init__(self) -> None:
+        self.steps = 0
+        self.totals: Dict[str, float] = {name: 0.0 for name in SECTIONS}
+        #: the clock used to bracket sections (monotonic, sub-microsecond)
+        self.clock = time.perf_counter
+
+    def add(self, faults: float, deliver: float, inject: float,
+            tx: float, sample: float, monitor: float) -> None:
+        """Fold one step's section durations (called by the engine)."""
+        totals = self.totals
+        totals["faults"] += faults
+        totals["deliver"] += deliver
+        totals["inject"] += inject
+        totals["tx"] += tx
+        totals["sample"] += sample
+        totals["monitor"] += monitor
+        self.steps += 1
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock seconds across all sections."""
+        return sum(self.totals.values())
+
+    def report(self) -> Dict[str, object]:
+        """Structured profile: totals, fractions and per-step means."""
+        total = self.total_seconds
+        sections = {}
+        for name in SECTIONS:
+            seconds = self.totals[name]
+            sections[name] = {
+                "seconds": seconds,
+                "fraction": seconds / total if total > 0 else 0.0,
+                "us_per_step": (
+                    seconds * 1e6 / self.steps if self.steps else 0.0
+                ),
+            }
+        return {
+            "steps": self.steps,
+            "seconds": total,
+            "slots_per_sec": self.steps / total if total > 0 else 0.0,
+            "sections": sections,
+        }
+
+    def format_report(self) -> str:
+        """Human-readable rendering of :meth:`report`."""
+        rep = self.report()
+        lines = [
+            f"step profile: {rep['steps']} slots in {rep['seconds']:.3f}s "
+            f"({rep['slots_per_sec']:.0f} slots/sec)"
+        ]
+        for name in SECTIONS:
+            sec = rep["sections"][name]
+            lines.append(
+                f"  {name:>8s}: {sec['seconds']:8.3f}s  "
+                f"{100 * sec['fraction']:5.1f}%  "
+                f"{sec['us_per_step']:8.2f} us/slot"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"StepProfiler(steps={self.steps}, "
+            f"seconds={self.total_seconds:.3f})"
+        )

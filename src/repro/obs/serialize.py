@@ -1,0 +1,52 @@
+"""Deterministic JSON helpers shared by the telemetry artifacts.
+
+Canonical form: sorted keys, no whitespace, plain ASCII.  Two runs with the
+same seed must produce byte-identical artifacts, so every writer in this
+package funnels through :func:`canonical_json`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["canonical_json", "to_jsonable"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into plain JSON-serialisable types.
+
+    Handles dataclasses (experiment results, :class:`SimConfig`), numpy
+    scalars and arrays, and the usual containers.  Unknown objects fall back
+    to ``repr`` so an artifact write never crashes a finished experiment.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(x) for x in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = sorted(obj) if isinstance(obj, (set, frozenset)) else obj
+        return [to_jsonable(x) for x in items]
+    return repr(obj)
+
+
+def canonical_json(obj: Any) -> str:
+    """``obj`` as canonical JSON (sorted keys, compact, ASCII)."""
+    return json.dumps(
+        to_jsonable(obj), sort_keys=True, separators=(",", ":"),
+        ensure_ascii=True, allow_nan=False,
+    )

@@ -1,0 +1,149 @@
+"""Per-sample-window time series of one engine's run.
+
+The metrics collector keeps *cumulative* counters and two flat sample
+buffers; the figures in the paper (Figs. 8, 10-12, 15) are all
+*time-resolved*.  :class:`TimeSeriesRecorder` bridges the gap: at every
+sample window close it records the window's counter deltas and the
+instantaneous populations into int64 columns (the same growable numpy
+buffers the metrics collector uses), giving throughput-over-time, queue
+growth and token traffic without re-instrumenting by hand.
+
+The recorder is a pure observer and is cheap: one counter snapshot plus one
+walk over the nodes per sample window (every ``metrics_sample_interval``
+slots), all through public accessors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..sim.metrics import _IntBuffer
+
+__all__ = ["TimeSeriesRecorder"]
+
+
+class TimeSeriesRecorder:
+    """Records one row per sample window; attach via :meth:`attach`.
+
+    Columns (all int64, one value per closed window):
+
+    ``t``             window-closing timeslot
+    ``delivered``     payload cells delivered in the window
+    ``injected``      payload cells that entered the network
+    ``drops``         payload cells dropped (any cause)
+    ``sent``          cells put on the wire (payload + dummy)
+    ``dummies``       dummy cells among them
+    ``tokens``        hop-by-hop tokens carried in headers
+    ``ctrl``          end-to-end control messages sent
+    ``queued``        cells enqueued across live nodes at the window close
+    ``in_flight``     payload cells on the wire at the window close
+    ``active_flows``  flows still sending/receiving at the window close
+    ``max_queue``     longest single link queue at the window close
+    ``max_buffer``    largest per-node total occupancy at the window close
+    ``active_buckets`` most active buckets at any node at the window close
+    """
+
+    #: column order used by :meth:`row` and :meth:`to_dict`
+    COLUMNS = (
+        "t", "delivered", "injected", "drops", "sent", "dummies",
+        "tokens", "ctrl", "queued", "in_flight", "active_flows",
+        "max_queue", "max_buffer", "active_buckets",
+    )
+
+    #: (column, MetricsCollector attribute) pairs recorded as window deltas
+    _DELTA_SOURCES = (
+        ("delivered", "payload_cells_delivered"),
+        ("injected", "cells_injected"),
+        ("drops", "cells_dropped"),
+        ("sent", "cells_sent"),
+        ("dummies", "dummy_cells_sent"),
+        ("tokens", "tokens_sent"),
+        ("ctrl", "control_messages"),
+    )
+
+    def __init__(self) -> None:
+        self._cols: Dict[str, _IntBuffer] = {
+            name: _IntBuffer() for name in self.COLUMNS
+        }
+        self._prev = tuple(0 for _ in self._DELTA_SOURCES)
+
+    # ------------------------------------------------------------------ #
+    # engine hooks
+
+    def attach(self, engine) -> "TimeSeriesRecorder":
+        """Install this recorder on ``engine`` and return it."""
+        engine.telemetry = self
+        self.resnapshot(engine.metrics)
+        return self
+
+    def resnapshot(self, metrics) -> None:
+        """Re-baseline the delta counters (e.g. at the end of warm-up)."""
+        self._prev = tuple(
+            getattr(metrics, attr) for _, attr in self._DELTA_SOURCES
+        )
+
+    def on_window(self, engine, t: int) -> None:
+        """Close one window: record deltas and instantaneous populations.
+
+        Called by the engine right after the metrics sampling step, so the
+        instantaneous readings land at exactly the sampling instants.
+        """
+        metrics = engine.metrics
+        cols = self._cols
+        prev = self._prev
+        cur = tuple(
+            getattr(metrics, attr) for _, attr in self._DELTA_SOURCES
+        )
+        self._prev = cur
+        cols["t"].append(t)
+        for (name, _), now, before in zip(self._DELTA_SOURCES, cur, prev):
+            cols[name].append(now - before)
+        queued = 0
+        max_queue = 0
+        max_buffer = 0
+        active_buckets = 0
+        for node in engine.nodes:
+            if node.failed:
+                continue
+            occupancy = node.total_enqueued
+            queued += occupancy
+            if occupancy > max_buffer:
+                max_buffer = occupancy
+            for queue in node.link_queues:
+                length = len(queue)
+                if length > max_queue:
+                    max_queue = length
+            tracker = node.bucket_tracker
+            if tracker is not None:
+                active = len(tracker)
+                if active > active_buckets:
+                    active_buckets = active
+        cols["queued"].append(queued)
+        cols["in_flight"].append(engine._in_flight_payload)
+        cols["active_flows"].append(engine.flows.active_count)
+        cols["max_queue"].append(max_queue)
+        cols["max_buffer"].append(max_buffer)
+        cols["active_buckets"].append(active_buckets)
+
+    # ------------------------------------------------------------------ #
+    # reading the series
+
+    def __len__(self) -> int:
+        """Number of closed windows recorded so far."""
+        return len(self._cols["t"])
+
+    def series(self) -> Dict[str, np.ndarray]:
+        """The columns as zero-copy int64 views (name -> array)."""
+        return {name: buf.view() for name, buf in self._cols.items()}
+
+    def column(self, name: str) -> np.ndarray:
+        """One column as a zero-copy int64 view."""
+        return self._cols[name].view()
+
+    def to_dict(self) -> Dict[str, List[int]]:
+        """The columns as plain lists (JSON-serialisable, picklable)."""
+        return {
+            name: buf.view().tolist() for name, buf in self._cols.items()
+        }

@@ -38,6 +38,13 @@ __all__ = ["Engine", "ScheduledFlow"]
 #: size in bytes).
 ScheduledFlow = Tuple[int, int, int, int, int]
 
+#: Observers called with each freshly constructed Engine.  The telemetry
+#: capture context (:class:`repro.obs.capture.TelemetryCapture`) registers
+#: itself here so that engines built deep inside experiment modules pick up
+#: instrumentation without any plumbing; the list is empty (one truthiness
+#: check per construction) outside a capture context.
+_construction_hooks: List[Callable[["Engine"], None]] = []
+
 
 class Engine:
     """Simulates one Shale network running a single (sub-)schedule.
@@ -96,6 +103,16 @@ class Engine:
         self.failed_links: Set[Tuple[int, int]] = set()
         #: optional RunMonitor (see repro.sim.monitor) called once per slot
         self.monitor = None
+        #: optional TimeSeriesRecorder (repro.obs.timeseries) fed one row
+        #: per closed sample window; attach via its ``attach`` method
+        self.telemetry = None
+        #: optional EventLog (repro.obs.events) receiving structured
+        #: ``(t, kind, payload)`` run events; attach via its ``attach``
+        self.events = None
+        #: optional StepProfiler (repro.obs.profiler); when set the run
+        #: loops dispatch to the timed step twin (:meth:`_step_profiled`),
+        #: so the normal step pays nothing for the feature
+        self.profiler = None
         self._pending_flows: Deque[ScheduledFlow] = deque()
         if workload is not None:
             self.schedule_flows(workload)
@@ -112,6 +129,21 @@ class Engine:
         self.digest: Optional[DeterminismDigest] = None
         # ISD bookkeeping: last time each flow's credit was topped up
         self._isd_last: Dict[int, int] = {}
+        if _construction_hooks:
+            for hook in _construction_hooks:
+                hook(self)
+
+    def enable_profiler(self):
+        """Attach (and return) a step profiler; see repro.obs.profiler.
+
+        Like the digest, the profiler is a pure observer: the simulated
+        event stream is bit-identical with and without it (the timed step
+        twin mirrors :meth:`step` exactly).
+        """
+        from ..obs.profiler import StepProfiler
+
+        self.profiler = StepProfiler()
+        return self.profiler
 
     def enable_digest(self) -> DeterminismDigest:
         """Attach (and return) a fresh event digest for equivalence tests.
@@ -136,6 +168,7 @@ class Engine:
 
     def _inject_flows(self, t: int) -> None:
         pending = self._pending_flows
+        events = self.events
         while pending and pending[0][0] <= t:
             arrival, src, dst, size_cells, size_bytes = pending.popleft()
             node = self.nodes[src]
@@ -145,6 +178,11 @@ class Engine:
                 src, dst, size_cells, arrival, size_bytes=size_bytes
             )
             node.add_flow(flow)
+            if events is not None:
+                events.emit(t, "flow_start", {
+                    "flow": flow.flow_id, "src": src, "dst": dst,
+                    "cells": size_cells,
+                })
 
     # ------------------------------------------------------------------ #
     # main loop
@@ -152,8 +190,9 @@ class Engine:
     def run(self, duration: Optional[int] = None) -> MetricsCollector:
         """Run for ``duration`` timeslots (default: ``config.duration``)."""
         end = self.t + (duration if duration is not None else self.config.duration)
+        step = self.step if self.profiler is None else self._step_profiled
         while self.t < end:
-            self.step()
+            step()
         return self.metrics
 
     def run_until_quiescent(self, max_extra: int = 1_000_000) -> MetricsCollector:
@@ -164,32 +203,82 @@ class Engine:
         waiting for an empty wire would never terminate.
         """
         deadline = self.t + max_extra
+        step = self.step if self.profiler is None else self._step_profiled
         while self.t < deadline and (
             self._pending_flows
             or self.flows.active_count
             or self._in_flight_payload
         ):
-            self.step()
+            step()
         return self.metrics
 
     def step(self) -> None:
-        """Advance the simulation by one timeslot."""
+        """Advance the simulation by one timeslot.
+
+        Any change here must be mirrored in :meth:`_step_profiled`, the
+        section-timed twin used when a profiler is attached.
+        """
         t = self.t
         slot = t % self._epoch_length
         phase = self._phase_table[slot]
         offset = self._offset_table[slot]
         if self.failure_manager is not None:
             self.failure_manager.advance(self, t)
+        metrics = self.metrics
+        if not metrics._measuring and t >= metrics.warmup:
+            # entering the measured interval: drop warm-up window state so
+            # the first post-warmup throughput window starts clean
+            metrics.begin_measurement()
+            if self.telemetry is not None:
+                self.telemetry.resnapshot(metrics)
         if self._in_flight:
             self._deliver_arrivals(t, phase)
         if self._pending_flows:
             self._inject_flows(t)
         self._run_tx(t, phase, offset)
-        metrics = self.metrics
         if t >= metrics.warmup and t % metrics.sample_interval == 0:
-            metrics.sample_engine_nodes(self.nodes)
+            self._sample_metrics()
         if self.monitor is not None:
             self.monitor.on_step_end(self, t)
+        self.t = t + 1
+
+    def _step_profiled(self) -> None:
+        """:meth:`step` with each section bracketed by the profiler clock.
+
+        Kept as a twin rather than inline flag checks so the un-profiled
+        step pays nothing; the golden-trace tests pin both paths to the
+        same event stream.
+        """
+        profiler = self.profiler
+        clock = profiler.clock
+        t = self.t
+        slot = t % self._epoch_length
+        phase = self._phase_table[slot]
+        offset = self._offset_table[slot]
+        t0 = clock()
+        if self.failure_manager is not None:
+            self.failure_manager.advance(self, t)
+        metrics = self.metrics
+        if not metrics._measuring and t >= metrics.warmup:
+            metrics.begin_measurement()
+            if self.telemetry is not None:
+                self.telemetry.resnapshot(metrics)
+        t1 = clock()
+        if self._in_flight:
+            self._deliver_arrivals(t, phase)
+        t2 = clock()
+        if self._pending_flows:
+            self._inject_flows(t)
+        t3 = clock()
+        self._run_tx(t, phase, offset)
+        t4 = clock()
+        if t >= metrics.warmup and t % metrics.sample_interval == 0:
+            self._sample_metrics()
+        t5 = clock()
+        if self.monitor is not None:
+            self.monitor.on_step_end(self, t)
+        t6 = clock()
+        profiler.add(t1 - t0, t2 - t1, t3 - t2, t4 - t3, t5 - t4, t6 - t5)
         self.t = t + 1
 
     def _deliver_arrivals(self, t: int, rx_phase: int) -> None:
@@ -490,7 +579,10 @@ class Engine:
             self._in_flight_payload += payload
 
     def _sample_metrics(self) -> None:
+        """Close one sample window: metrics sampling, then telemetry."""
         self.metrics.sample_engine_nodes(self.nodes)
+        if self.telemetry is not None:
+            self.telemetry.on_window(self, self.t)
 
     # ------------------------------------------------------------------ #
     # ISD (idealized sender-driven) global rate control

@@ -51,6 +51,15 @@ class _IntBuffer:
         return self._size
 
 
+# numpy renamed ``interpolation=`` to ``method=`` in 1.22; resolve the
+# keyword once at import so the hot reporting path doesn't re-probe
+try:
+    np.percentile(np.zeros(1), 50.0, method="lower")
+    _PERCENTILE_LOWER = {"method": "lower"}
+except TypeError:  # pragma: no cover - numpy < 1.22
+    _PERCENTILE_LOWER = {"interpolation": "lower"}
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """The ``q``-th percentile (0..100) of ``values`` (0.0 when empty).
 
@@ -60,7 +69,11 @@ def percentile(values: Sequence[float], q: float) -> float:
     """
     if len(values) == 0:
         return 0.0
-    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+    return float(
+        np.percentile(
+            np.asarray(values, dtype=np.float64), q, **_PERCENTILE_LOWER
+        )
+    )
 
 
 class MetricsCollector:
@@ -101,6 +114,9 @@ class MetricsCollector:
         # throughput time series: delivered payload cells per sample window
         self.throughput_series: List[int] = []
         self._window_delivered = 0
+        #: whether the measured interval has begun (False only while a
+        #: non-zero warm-up is still running; see :meth:`begin_measurement`)
+        self._measuring = warmup <= 0
         # per-destination delivered counts (failure experiment)
         self.delivered_per_node: Dict[int, int] = {}
 
@@ -157,6 +173,17 @@ class MetricsCollector:
         """Whether timeslot ``t`` is a sampling instant (post warm-up)."""
         return t >= self.warmup and t % self.sample_interval == 0
 
+    def begin_measurement(self) -> None:
+        """Enter the measured interval (called once, at the end of warm-up).
+
+        Deliveries during warm-up still increment the cumulative counters,
+        but must not contaminate the first post-warmup throughput window —
+        without this reset, ``throughput_series[0]`` silently included
+        every cell delivered since t=0.
+        """
+        self._measuring = True
+        self._window_delivered = 0
+
     @property
     def buffer_samples(self) -> np.ndarray:
         """Per-node total-buffer occupancy samples, as an int64 array."""
@@ -193,6 +220,11 @@ class MetricsCollector:
         by :meth:`end_sample_window`, without building per-node length lists:
         the engine's sampling step is allocation-free apart from buffer
         growth.
+
+        Queues and bucket trackers are read through their public surface
+        (``len()`` / ``peak_occupancy``) only: this method once reached into
+        ``PieoQueue._items`` and ``ActiveBucketTracker._refcount`` and broke
+        silently when the queue representation changed.
         """
         buf = self._buffer_samples
         qbuf = self._queue_samples
@@ -208,16 +240,16 @@ class MetricsCollector:
                 max_buf = occ
             peak = 0
             for queue in node.link_queues:
-                items = queue._items
-                if items:
-                    qbuf.append(len(items))
+                length = len(queue)
+                if length:
+                    qbuf.append(length)
                 if queue.peak_occupancy > peak:
                     peak = queue.peak_occupancy
             if peak > max_pieo:
                 max_pieo = peak
             tracker = node.bucket_tracker
             if tracker is not None:
-                active = len(tracker._refcount)
+                active = len(tracker)
                 if active > max_ab:
                     max_ab = active
         self.max_buffer_occupancy = max_buf

@@ -106,6 +106,9 @@ class RunMonitor:
                 "missing": metrics.cells_injected - accounted,
             }
             self.violations.append(violation)
+            if engine.events is not None:
+                engine.events.emit(t, "conservation_violation",
+                                   dict(violation))
             if self.strict:
                 raise ConservationError(
                     f"cell conservation violated at t={t}: "
@@ -130,12 +133,15 @@ class RunMonitor:
         elif not self._stalled and t - self._last_progress_t >= self._stall_slots:
             self._stalled = True
             busy = metrics.cells_sent > self._sent_at_progress
-            self.stalls.append({
+            stall = {
                 "t": t,
                 "since": self._last_progress_t,
                 "backlog": backlog,
                 "kind": "livelock" if busy else "stall",
-            })
+            }
+            self.stalls.append(stall)
+            if engine.events is not None:
+                engine.events.emit(t, "stall", dict(stall))
 
     # ------------------------------------------------------------------ #
     # reporting

@@ -90,10 +90,15 @@ class MultiClassSimulation:
         # sub-engine's wall time), not the sub-slot driving this TX step
         rx_phase = engine.schedule.phase_of(master_t)
         engine.t = master_t
+        metrics = engine.metrics
+        if not metrics._measuring and master_t >= metrics.warmup:
+            metrics.begin_measurement()
+            if engine.telemetry is not None:
+                engine.telemetry.resnapshot(metrics)
         engine._deliver_arrivals(master_t, rx_phase)
         engine._inject_flows(master_t)
         engine._run_tx(master_t, phase, offset)
-        if engine.metrics.should_sample(master_t):
+        if metrics.should_sample(master_t):
             engine._sample_metrics()
 
     def _dispatch_flows(self, t: int) -> None:
@@ -120,6 +125,35 @@ class MultiClassSimulation:
             if self.t >= deadline:
                 break
             self.step()
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+
+    def attach_telemetry(self) -> List[object]:
+        """Attach a time-series recorder to every sub-schedule engine.
+
+        Returns the recorders in class order; engines that already carry a
+        recorder keep it.  Each class records its own per-window series
+        (master-clock timestamps), which is the per-class breakdown the
+        interleaving experiments report.
+        """
+        from ..obs.timeseries import TimeSeriesRecorder
+
+        recorders = []
+        for engine in self.engines:
+            recorder = engine.telemetry
+            if recorder is None:
+                recorder = TimeSeriesRecorder().attach(engine)
+            recorders.append(recorder)
+        return recorders
+
+    def telemetry_by_class(self) -> Dict[int, Dict[str, List[int]]]:
+        """Per-class time series (class index -> column dict)."""
+        return {
+            i: engine.telemetry.to_dict()
+            for i, engine in enumerate(self.engines)
+            if engine.telemetry is not None
+        }
 
     # ------------------------------------------------------------------ #
     # results

@@ -853,6 +853,12 @@ class Node:
             flow.delivered += 1
             if flow.delivered >= flow.size_cells:
                 record = flows.finalize(flow, t)
+                if engine.events is not None:
+                    engine.events.emit(t, "flow_end", {
+                        "flow": record.flow_id, "src": record.src,
+                        "dst": record.dst, "cells": record.size_cells,
+                        "fct": record.fct,
+                    })
         if self.is_rd_family and record is None:
             # flow still running: maybe request more cells from the sender
             count = self._recv_counts.get(cell.flow_id, 0) + 1

@@ -38,7 +38,33 @@ def default_workers(cap: int = 8) -> int:
 
 def _invoke(payload):
     fn, kwargs = payload
-    return fn(**kwargs)
+    # Workers forked under a TelemetryCapture inherit the parent's capture
+    # object, but engines registered there would die with the process: wrap
+    # the cell in a private capture and ship the telemetry home with the
+    # result instead (imported lazily to keep sim importable without obs).
+    from ..obs import capture as _capture
+
+    if _capture.current_capture() is None:
+        return fn(**kwargs)
+    with _capture.TelemetryCapture() as cell_capture:
+        result = fn(**kwargs)
+    runs, runtimes, events = cell_capture.collect_bundle()
+    return _capture.SweepTelemetry(result, runs, runtimes, events)
+
+
+def _unwrap(results, active_capture):
+    """Merge shipped-home telemetry (grid order) and strip the wrappers."""
+    from ..obs.capture import SweepTelemetry
+
+    out = []
+    for item in results:
+        if isinstance(item, SweepTelemetry):
+            if active_capture is not None:
+                active_capture.merge(item)
+            out.append(item.result)
+        else:
+            out.append(item)
+    return out
 
 
 def sweep(
@@ -71,6 +97,9 @@ def sweep(
         # still leaving ~4 chunks per worker for load balancing
         chunksize = max(1, len(cells) // (pool_size * 4))
         with context.Pool(processes=pool_size) as pool:
-            return pool.map(_invoke, payloads, chunksize=chunksize)
+            results = pool.map(_invoke, payloads, chunksize=chunksize)
     except (OSError, ValueError):
         return [fn(**cell) for cell in cells]
+    from ..obs.capture import current_capture
+
+    return _unwrap(results, current_capture())

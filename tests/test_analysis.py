@@ -169,7 +169,9 @@ class TestFctAnalysis:
     def test_overall_tail(self):
         records = [make_record(1, i + 1, size_bytes=100) for i in range(100)]
         table = fct_table(records, 0)
-        assert table.overall_tail(50) == pytest.approx(50.5)
+        # 'lower' interpolation: the percentile is an observed FCT, never
+        # a midpoint between two samples (50.5 under linear interpolation)
+        assert table.overall_tail(50) == pytest.approx(50.0)
 
     def test_empty_table(self):
         table = fct_table([], 0)

@@ -103,6 +103,17 @@ class TestPercentile:
         values = list(range(1000))
         assert percentile(values, 99.99) <= 999
 
+    def test_lower_interpolation_not_linear(self):
+        """Regression: the docstring promised 'lower' but the implementation
+        interpolated linearly (``percentile([0, 10], 50)`` returned 5.0)."""
+        assert percentile([0, 10], 50) == 0.0
+        assert percentile([1, 2, 3, 4], 97) == 3.0
+
+    def test_result_is_an_observed_sample(self):
+        values = [3, 1, 41, 59, 26, 5]
+        for q in (0, 10, 25, 50, 75, 90, 99, 100):
+            assert percentile(values, q) in values
+
 
 class TestMetricsCollector:
     def test_counters(self):
@@ -142,7 +153,9 @@ class TestMetricsCollector:
         for occ in (1, 2, 3, 100):
             m.sample_node(occ, [occ])
         assert m.max_buffer_occupancy == 100
-        assert m.buffer_occupancy_percentile(50) == pytest.approx(2.5)
+        # 'lower' interpolation returns an observed sample (2), not the
+        # linear midpoint 2.5
+        assert m.buffer_occupancy_percentile(50) == pytest.approx(2.0)
         assert m.queue_length_percentile(99) <= 100
 
     def test_resource_peaks(self):
@@ -181,3 +194,45 @@ class TestMetricsCollector:
         m.on_cell_delivered(0, 1)
         m.end_sample_window()
         assert m.throughput_series == [1, 2]
+
+    def test_sample_engine_nodes_uses_public_surface_only(self):
+        """Regression: bulk sampling reached into ``PieoQueue._items`` and
+        ``ActiveBucketTracker._refcount``; it must work against any object
+        exposing the public protocol (``len()`` + ``peak_occupancy``)."""
+
+        class StubQueue:
+            def __init__(self, length, peak):
+                self._length = length
+                self.peak_occupancy = peak
+
+            def __len__(self):
+                return self._length
+
+        class StubTracker:
+            def __init__(self, active):
+                self._active = active
+
+            def __len__(self):
+                return self._active
+
+        class StubNode:
+            def __init__(self, failed, occ, queues, tracker):
+                self.failed = failed
+                self.total_enqueued = occ
+                self.link_queues = queues
+                self.bucket_tracker = tracker
+
+        nodes = [
+            StubNode(False, 7, [StubQueue(4, 9), StubQueue(0, 2)],
+                     StubTracker(3)),
+            StubNode(True, 99, [StubQueue(50, 50)], StubTracker(50)),
+            StubNode(False, 2, [StubQueue(2, 2)], None),
+        ]
+        m = MetricsCollector(n=3)
+        m.sample_engine_nodes(nodes)
+        assert m.buffer_samples.tolist() == [7, 2]  # failed node skipped
+        assert m.queue_samples.tolist() == [4, 2]   # empty queue skipped
+        assert m.max_buffer_occupancy == 7
+        assert m.max_pieo_length == 9
+        assert m.max_active_buckets == 3
+        assert m.throughput_series == [0]           # window closed

@@ -9,6 +9,11 @@ mismatch means the engine is no longer event-identical to the reference
 implementation at that seed, which is exactly the regression these tests
 exist to catch.
 
+Every scenario runs with the full telemetry stack attached — time-series
+recorder, structured event log, step profiler (:mod:`repro.obs`) — so a
+passing run also proves telemetry is a *pure observer*: attaching it leaves
+the event stream bit-exact.
+
 Regenerating the goldens (only legitimate when simulated *behavior* is
 intentionally changed, never for a pure optimization)::
 
@@ -21,6 +26,8 @@ import pathlib
 import pytest
 
 from repro.failures.manager import FailureEvent, FailureManager
+from repro.obs.events import EventLog, RingSink
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.sim.config import SimConfig
 from repro.sim.engine import Engine
 from repro.workloads.generators import permutation_workload
@@ -60,6 +67,13 @@ def run_scenario(cc: str, params: dict) -> dict:
     workload = permutation_workload(cfg, params["size_cells"])
     engine = Engine(cfg, workload=workload, failure_manager=manager)
     digest = engine.enable_digest()
+    # full telemetry stack on: the goldens double as the proof that
+    # observation never perturbs simulated behavior
+    TimeSeriesRecorder().attach(engine)
+    log = EventLog()
+    log.add_sink(RingSink())
+    log.attach(engine)
+    engine.enable_profiler()
     engine.run(cfg.duration)
     fcts = [record.fct for record in engine.flows.completed]
     return {

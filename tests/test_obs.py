@@ -1,0 +1,398 @@
+"""Tests for the run-telemetry subsystem (:mod:`repro.obs`).
+
+Covers the three pillars — time series, structured events, profiling /
+manifests — plus the ambient :class:`TelemetryCapture` and its cooperation
+with :func:`repro.sim.parallel.sweep` workers.  The companion proof that
+telemetry never perturbs simulated behavior lives in
+``test_golden_traces.py`` (every golden scenario runs fully instrumented).
+"""
+
+import json
+
+import pytest
+
+from repro.obs.capture import SweepTelemetry, TelemetryCapture, current_capture
+from repro.obs.events import (
+    CallbackSink,
+    EventLog,
+    FileSink,
+    RingSink,
+    encode_event,
+    read_jsonl,
+)
+from repro.obs.manifest import run_manifest
+from repro.obs.profiler import SECTIONS, StepProfiler
+from repro.obs.serialize import canonical_json
+from repro.obs.timeseries import TimeSeriesRecorder
+from repro.sim import engine as engine_mod
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine
+from repro.sim.parallel import sweep
+from repro.workloads.generators import permutation_workload
+
+pytestmark = pytest.mark.telemetry
+
+
+def make_engine(n=16, h=2, seed=3, duration=600, cc="hop-by-hop",
+                size_cells=20, warmup=0, sample_interval=50):
+    cfg = SimConfig(
+        n=n, h=h, seed=seed, duration=duration, propagation_delay=4,
+        congestion_control=cc, warmup=warmup,
+        metrics_sample_interval=sample_interval,
+    )
+    return Engine(cfg, workload=permutation_workload(cfg, size_cells))
+
+
+# --------------------------------------------------------------------- #
+# time series
+
+
+class TestTimeSeries:
+    def test_one_row_per_sample_window(self):
+        engine = make_engine(duration=600, sample_interval=50)
+        recorder = TimeSeriesRecorder().attach(engine)
+        engine.run(engine.config.duration)
+        # samples fire at t = 0, 50, ..., 550
+        assert len(recorder) == 600 // 50
+        series = recorder.series()
+        assert set(series) == set(TimeSeriesRecorder.COLUMNS)
+        assert all(len(col) == len(recorder) for col in series.values())
+        assert recorder.column("t").tolist() == list(range(0, 600, 50))
+
+    def test_deltas_sum_to_cumulative_counters(self):
+        engine = make_engine(duration=800)
+        recorder = TimeSeriesRecorder().attach(engine)
+        engine.run(engine.config.duration)
+        m = engine.metrics
+        # the windows partition [0, last sample]; deliveries after the last
+        # sampling instant are not in any window, so compare at that instant
+        # by re-deriving the tail from the cumulative counter
+        assert sum(recorder.column("delivered")) <= m.payload_cells_delivered
+        assert sum(recorder.column("sent")) <= m.cells_sent
+        assert sum(recorder.column("dummies")) <= m.dummy_cells_sent
+        # every window delta is non-negative (counters are monotonic)
+        for name in ("delivered", "injected", "sent", "dummies", "tokens"):
+            assert min(recorder.column(name), default=0) >= 0
+        # the recorder mirrors the metrics collector's own window series
+        assert recorder.column("delivered").tolist() == m.throughput_series
+
+    def test_to_dict_is_json_serialisable(self):
+        engine = make_engine(duration=300)
+        recorder = TimeSeriesRecorder().attach(engine)
+        engine.run(engine.config.duration)
+        data = recorder.to_dict()
+        json.dumps(data)  # must not raise
+        assert set(data) == set(TimeSeriesRecorder.COLUMNS)
+        assert all(isinstance(v, list) for v in data.values())
+
+    def test_attach_is_idempotent_on_engine_slot(self):
+        engine = make_engine(duration=200)
+        recorder = TimeSeriesRecorder().attach(engine)
+        assert engine.telemetry is recorder
+
+    def test_recorder_observes_hbh_tokens(self):
+        engine = make_engine(duration=800, cc="hbh+spray")
+        recorder = TimeSeriesRecorder().attach(engine)
+        engine.run(engine.config.duration)
+        assert sum(recorder.column("tokens")) > 0
+
+
+class TestWarmupBoundary:
+    def test_first_window_excludes_warmup_deliveries(self):
+        """Regression: ``throughput_series[0]`` once absorbed every cell
+        delivered since t=0 when ``warmup > 0``."""
+        warmup = 200
+        engine = make_engine(duration=601, warmup=warmup, sample_interval=50)
+        engine.run(warmup)  # slots 0..199: warm-up only
+        delivered_before = engine.metrics.payload_cells_delivered
+        assert delivered_before > 0, "warm-up must deliver something"
+        assert engine.metrics.throughput_series == []
+        engine.run(601 - warmup)  # slots 200..600; windows close at 200..600
+        m = engine.metrics
+        assert sum(m.throughput_series) == (
+            m.payload_cells_delivered - delivered_before
+        )
+
+    def test_telemetry_rebaselined_at_warmup(self):
+        warmup = 200
+        engine = make_engine(duration=601, warmup=warmup, sample_interval=50)
+        recorder = TimeSeriesRecorder().attach(engine)
+        engine.run(engine.config.duration)
+        m = engine.metrics
+        # recorder windows must agree with the (fixed) metrics windows
+        assert recorder.column("delivered").tolist() == m.throughput_series
+        assert recorder.column("t").tolist() == list(range(200, 601, 50))
+
+    def test_begin_measurement_resets_window(self):
+        from repro.sim.metrics import MetricsCollector
+
+        m = MetricsCollector(n=4, warmup=100)
+        assert not m._measuring
+        m.on_cell_delivered(0, 5)
+        m.on_cell_delivered(1, 5)
+        m.begin_measurement()
+        m.on_cell_delivered(2, 5)
+        m.end_sample_window()
+        assert m.throughput_series == [1]
+        assert m.payload_cells_delivered == 3
+
+
+# --------------------------------------------------------------------- #
+# structured events
+
+
+class TestEventLog:
+    def test_flow_lifecycle_events(self):
+        engine = make_engine(duration=600)
+        ring = RingSink()
+        EventLog([ring]).attach(engine)
+        engine.run(engine.config.duration)
+        starts = [r for r in ring.records if r["kind"] == "flow_start"]
+        ends = [r for r in ring.records if r["kind"] == "flow_end"]
+        assert len(starts) == engine.config.n
+        assert len(ends) == len(engine.flows.completed)
+        assert ends, "expected completed flows in 600 slots"
+        for record in ends:
+            payload = record["payload"]
+            assert payload["fct"] > 0
+            assert {"flow", "src", "dst", "cells"} <= set(payload)
+
+    def test_file_sink_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        engine = make_engine(duration=400)
+        log = EventLog([FileSink(path)]).attach(engine)
+        engine.run(engine.config.duration)
+        log.close()
+        records = read_jsonl(path)
+        assert len(records) == log.count
+        assert all(set(r) == {"t", "kind", "payload"} for r in records)
+        assert [r["t"] for r in records] == sorted(r["t"] for r in records)
+
+    def test_same_seed_byte_identical(self, tmp_path):
+        lines = []
+        for run in range(2):
+            engine = make_engine(duration=500, seed=11)
+            ring = RingSink()
+            EventLog([ring]).attach(engine)
+            engine.run(engine.config.duration)
+            lines.append("\n".join(encode_event(r) for r in ring.records))
+        assert lines[0] == lines[1]
+        assert lines[0], "event stream must not be empty"
+
+    def test_ring_capacity_bounds_memory(self):
+        ring = RingSink(capacity=3)
+        log = EventLog([ring])
+        for t in range(10):
+            log.emit(t, "k", {"i": t})
+        assert len(ring) == 3
+        assert [r["t"] for r in ring.records] == [7, 8, 9]
+        assert log.count == 10
+
+    def test_callback_sink_and_multiple_sinks(self):
+        seen = []
+        log = EventLog([CallbackSink(seen.append)])
+        ring = RingSink()
+        log.add_sink(ring)
+        log.emit(5, "x", {"a": 1})
+        assert seen == ring.records == [{"t": 5, "kind": "x",
+                                         "payload": {"a": 1}}]
+
+    def test_encode_event_is_canonical(self):
+        record = {"t": 1, "kind": "k", "payload": {"b": 2, "a": 1}}
+        assert encode_event(record) == (
+            '{"kind":"k","payload":{"a":1,"b":2},"t":1}'
+        )
+
+    def test_monitor_violations_reach_the_log(self):
+        from repro.sim.monitor import RunMonitor
+
+        engine = make_engine(duration=300)
+        ring = RingSink()
+        EventLog([ring]).attach(engine)
+        RunMonitor().attach(engine)
+        engine.run(200)
+        # forge a leak: the next conservation check must emit an event
+        engine.metrics.cells_injected += 7
+        engine.run(100)
+        violations = [r for r in ring.records
+                      if r["kind"] == "conservation_violation"]
+        assert violations
+        assert violations[0]["payload"]["missing"] == 7
+
+    def test_failure_events_reach_the_log(self):
+        from repro.failures.manager import FailureEvent, FailureManager
+
+        cfg = SimConfig(
+            n=16, h=2, seed=5, duration=600, propagation_delay=4,
+            congestion_control="hop-by-hop",
+        )
+        manager = FailureManager(events=[
+            FailureEvent(120, 5, failed=True),
+            FailureEvent(400, 5, failed=False),
+        ])
+        engine = Engine(cfg, workload=permutation_workload(cfg, 30),
+                        failure_manager=manager)
+        ring = RingSink()
+        EventLog([ring]).attach(engine)
+        engine.run(cfg.duration)
+        kinds = {r["kind"] for r in ring.records}
+        assert "failure_event" in kinds
+        assert "detection" in kinds
+
+
+# --------------------------------------------------------------------- #
+# profiler + manifest
+
+
+class TestProfiler:
+    def test_profiled_run_matches_unprofiled(self):
+        plain = make_engine(duration=500, seed=9)
+        plain.run(plain.config.duration)
+        profiled = make_engine(duration=500, seed=9)
+        profiler = profiled.enable_profiler()
+        profiled.run(profiled.config.duration)
+        assert profiler.steps == 500
+        assert (profiled.metrics.payload_cells_delivered
+                == plain.metrics.payload_cells_delivered)
+        assert profiler.total_seconds > 0
+
+    def test_report_structure(self):
+        profiler = StepProfiler()
+        profiler.add(0.1, 0.2, 0.0, 0.3, 0.0, 0.0)
+        rep = profiler.report()
+        assert rep["steps"] == 1
+        assert rep["seconds"] == pytest.approx(0.6)
+        assert set(rep["sections"]) == set(SECTIONS)
+        assert rep["sections"]["tx"]["fraction"] == pytest.approx(0.5)
+        assert "slots/sec" in profiler.format_report()
+
+    def test_zero_steps_report_is_finite(self):
+        rep = StepProfiler().report()
+        assert rep["slots_per_sec"] == 0.0
+        assert rep["sections"]["deliver"]["us_per_step"] == 0.0
+
+
+class TestManifest:
+    def test_run_part_is_deterministic(self):
+        texts = []
+        for _ in range(2):
+            engine = make_engine(duration=300, seed=4)
+            TimeSeriesRecorder().attach(engine)
+            engine.run(engine.config.duration)
+            texts.append(canonical_json(run_manifest(engine)["run"]))
+        assert texts[0] == texts[1]
+        run = json.loads(texts[0])
+        assert run["n"] == 16 and run["seed"] == 4 and run["slots"] == 300
+        assert run["telemetry"] is True
+        assert run["config"]["congestion_control"] == "hop-by-hop"
+
+    def test_runtime_part_carries_machine_facts(self):
+        engine = make_engine(duration=200)
+        engine.enable_profiler()
+        engine.run(engine.config.duration)
+        manifest = run_manifest(engine, wall_seconds=2.0)
+        runtime = manifest["runtime"]
+        assert runtime["wall_seconds"] == 2.0
+        assert runtime["slots_per_sec"] == pytest.approx(100.0)
+        assert runtime["peak_rss_kb"] is None or runtime["peak_rss_kb"] > 0
+        assert runtime["profile"]["steps"] == 200
+
+
+# --------------------------------------------------------------------- #
+# ambient capture + sweeps
+
+
+def _sweep_cell(n, seed):
+    """Module-level sweep worker (must be picklable)."""
+    cfg = SimConfig(n=n, h=2, seed=seed, duration=300, propagation_delay=4,
+                    congestion_control="none")
+    engine = Engine(cfg, workload=permutation_workload(cfg, 10))
+    engine.run(cfg.duration)
+    return engine.metrics.payload_cells_delivered
+
+
+class TestTelemetryCapture:
+    def test_instruments_engines_built_inside(self):
+        assert current_capture() is None
+        with TelemetryCapture() as cap:
+            assert current_capture() is cap
+            engine = make_engine(duration=300, seed=6)
+            assert engine.telemetry is not None
+            assert engine.events is not None
+            engine.run(engine.config.duration)
+        assert current_capture() is None
+        assert not engine_mod._construction_hooks
+        runs, runtimes, events = cap.collect_bundle()
+        assert len(runs) == len(runtimes) == 1
+        assert runs[0]["index"] == 0
+        assert runs[0]["manifest"]["seed"] == 6
+        assert runs[0]["summary"]["cells_delivered"] > 0
+        assert len(runs[0]["series"]["t"]) == len(runs[0]["series"]["delivered"])
+        assert events and all(e["run"] == 0 for e in events)
+
+    def test_nested_captures_share_instrumentation(self):
+        # the outer hook attaches the recorder/log; the inner hook must not
+        # replace them — it reuses the recorder and adds its own event sink
+        with TelemetryCapture() as outer:
+            with TelemetryCapture() as inner:
+                engine = make_engine(duration=200, seed=2)
+                engine.run(engine.config.duration)
+            assert current_capture() is outer
+        outer_runs = outer.collect()
+        inner_runs = inner.collect()
+        assert len(outer_runs) == len(inner_runs) == 1
+        assert outer_runs[0]["series"] == inner_runs[0]["series"]
+        assert outer.collect_events() == inner.collect_events()
+
+    def test_sweep_workers_ship_telemetry_home(self):
+        grid = [dict(n=16, seed=s) for s in (1, 2, 3, 4)]
+        sequential = sweep(_sweep_cell, grid, workers=1)
+        with TelemetryCapture() as cap:
+            results = sweep(_sweep_cell, grid, workers=2)
+        assert results == sequential
+        runs = cap.collect()
+        assert len(runs) == len(grid)
+        assert [r["index"] for r in runs] == [0, 1, 2, 3]
+        assert [r["manifest"]["seed"] for r in runs] == [1, 2, 3, 4]
+
+    def test_merge_reindexes_runs_and_events(self):
+        cap = TelemetryCapture()
+        cap.merge(SweepTelemetry("r0", [{"index": 0, "manifest": {}}],
+                                 [{"index": 0}], [{"run": 0, "t": 1,
+                                                   "kind": "k",
+                                                   "payload": {}}]))
+        cap.merge(SweepTelemetry("r1", [{"index": 0, "manifest": {}}],
+                                 [{"index": 0}], [{"run": 0, "t": 2,
+                                                   "kind": "k",
+                                                   "payload": {}}]))
+        runs, runtimes, events = cap.collect_bundle()
+        assert [r["index"] for r in runs] == [0, 1]
+        assert [r["index"] for r in runtimes] == [0, 1]
+        assert [e["run"] for e in events] == [0, 1]
+
+
+class TestMultiClassTelemetry:
+    def test_per_class_series(self):
+        from repro.core.interleave import two_class_interleave
+        from repro.sim.multiclass import MultiClassSimulation
+
+        inter = two_class_interleave(16, 2, 4, s=0.5, cutoff_cells=50)
+        base = SimConfig(n=16, h=2, duration=2000, propagation_delay=2,
+                         congestion_control="hbh+spray", seed=8)
+        sim = MultiClassSimulation(inter, base)
+        recorders = sim.attach_telemetry()
+        assert len(recorders) == 2
+        # idempotent: a second attach keeps the same recorders
+        assert sim.attach_telemetry() == recorders
+        workload = [(0, i, (i + 1) % 16, 20, 20 * 512) for i in range(8)]
+        workload += [(0, i, (i + 1) % 16, 200, 200 * 512)
+                     for i in range(8, 16)]
+        sim.schedule_flows(workload)
+        sim.run(2000)
+        by_class = sim.telemetry_by_class()
+        assert set(by_class) == {0, 1}
+        for series in by_class.values():
+            assert set(series) == set(TimeSeriesRecorder.COLUMNS)
+        total = sum(sum(series["delivered"]) for series in by_class.values())
+        assert total > 0
+        assert total <= sim.total_delivered_cells()
