@@ -1,0 +1,96 @@
+"""Microbenchmarks of the sweep dispatch machinery itself.
+
+Not a paper figure: these track the fixed cost the parallel sweep adds on
+top of the simulations it dispatches — per-cell dispatch overhead on an
+empty-cell grid (sequential vs the default process pool) and the saving
+from the process-wide ``(n, h)`` coordinate/schedule memo.  Each case
+reports its rate via ``extra_info`` like the engine benches (visible with
+``--benchmark-columns=min,mean,rounds,extra``).
+"""
+
+import pytest
+
+from repro.core import coordinates as coordinates_mod
+from repro.core import schedule as schedule_mod
+from repro.core.schedule import Schedule
+from repro.sim import parallel
+from repro.sim.parallel import default_workers, sweep
+
+#: empty cells per dispatch-overhead round
+CELLS = 32
+
+#: the memo benchmark's network size (big enough for real table cost)
+MEMO_N, MEMO_H = 1024, 2
+
+
+def noop_cell(index):
+    """The cheapest possible cell: all cost is the sweep's own overhead."""
+    return index
+
+
+def _silence_progress(monkeypatch):
+    monkeypatch.setattr(parallel, "_log", lambda message: None)
+
+
+def _bench_dispatch(benchmark, monkeypatch, workers):
+    _silence_progress(monkeypatch)
+    grid = [{"index": i} for i in range(CELLS)]
+    expected = list(range(CELLS))
+
+    def run():
+        assert sweep(noop_cell, grid, workers=workers) == expected
+
+    benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+    best = benchmark.stats.stats.min
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["cells"] = CELLS
+    benchmark.extra_info["cells_per_sec"] = round(CELLS / best, 1)
+    benchmark.extra_info["us_per_cell"] = round(best / CELLS * 1e6, 1)
+
+
+def test_dispatch_overhead_sequential(benchmark, monkeypatch):
+    _bench_dispatch(benchmark, monkeypatch, workers=1)
+
+
+def test_dispatch_overhead_default_pool(benchmark, monkeypatch):
+    """Pool dispatch cost per cell (fork + IPC), amortised over the grid.
+
+    On a single-core runner ``default_workers()`` is 1 and this matches the
+    sequential case; with spare cores it measures the real pool overhead.
+    """
+    _bench_dispatch(benchmark, monkeypatch, workers=max(2, default_workers()))
+
+
+def _drop_shared_tables():
+    coordinates_mod._shared.pop((MEMO_N, MEMO_H), None)
+    schedule_mod._shared.pop((MEMO_N, MEMO_H), None)
+
+
+def test_schedule_build_cold(benchmark):
+    """Reference cost: building the (n, h) tables from scratch each time."""
+
+    def build():
+        _drop_shared_tables()
+        return Schedule.shared(MEMO_N, MEMO_H)
+
+    benchmark.pedantic(build, rounds=10, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["n"] = MEMO_N
+    benchmark.extra_info["h"] = MEMO_H
+    benchmark.extra_info["builds_per_sec"] = round(
+        1.0 / benchmark.stats.stats.min, 1
+    )
+
+
+def test_schedule_build_memoized(benchmark):
+    """Memo-hit cost — the per-engine saving of ``Schedule.shared``."""
+    Schedule.shared(MEMO_N, MEMO_H)  # warm
+
+    benchmark.pedantic(
+        lambda: Schedule.shared(MEMO_N, MEMO_H),
+        rounds=10, iterations=1000, warmup_rounds=1,
+    )
+    benchmark.extra_info["n"] = MEMO_N
+    benchmark.extra_info["h"] = MEMO_H
+    benchmark.extra_info["lookups_per_sec"] = round(
+        1.0 / benchmark.stats.stats.min, 1
+    )

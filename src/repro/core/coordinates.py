@@ -15,13 +15,17 @@ schedule, router and failure machinery are built on.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 __all__ = [
     "CoordinateSystem",
     "integer_root",
     "is_perfect_power",
 ]
+
+#: process-wide memo of shared immutable instances, keyed by (n, h); see
+#: :meth:`CoordinateSystem.shared`
+_shared: Dict[Tuple[int, int], "CoordinateSystem"] = {}
 
 
 def integer_root(n: int, h: int) -> int:
@@ -80,6 +84,21 @@ class CoordinateSystem:
         self.n = n
         # _weights[p] is the positional weight of coordinate p.
         self._weights = tuple(self.r ** (h - 1 - p) for p in range(h))
+
+    @classmethod
+    def shared(cls, n: int, h: int) -> "CoordinateSystem":
+        """The process-wide shared instance for ``(n, h)``.
+
+        The class is immutable, so every engine in a sweep can share one
+        table per network size instead of rebuilding it; pre-warming the
+        memo in a sweep parent before forking lets worker processes share
+        the pages copy-on-write.  Raises ``ValueError`` exactly like the
+        constructor for infeasible ``(n, h)``.
+        """
+        instance = _shared.get((n, h))
+        if instance is None:
+            instance = _shared.setdefault((n, h), cls(n, h))
+        return instance
 
     # ------------------------------------------------------------------ #
     # basic conversions

@@ -197,7 +197,7 @@ def two_class_interleave(
     if s > 0.0:
         specs.append(
             SubScheduleSpec(
-                Schedule.for_network(n, h_latency),
+                Schedule.shared(n, h_latency),
                 share=s,
                 name=f"h={h_latency} (latency)",
                 max_flow_size=cutoff_cells,
@@ -206,7 +206,7 @@ def two_class_interleave(
     if s < 1.0:
         specs.append(
             SubScheduleSpec(
-                Schedule.for_network(n, h_bulk),
+                Schedule.shared(n, h_bulk),
                 share=1.0 - s,
                 name=f"h={h_bulk} (bulk)",
                 max_flow_size=None,

@@ -19,11 +19,15 @@ by RotorNet, Shoal and Sirius (paper Fig. 2); Fig. 3 of the paper shows the
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from .coordinates import CoordinateSystem
 
 __all__ = ["Schedule", "SlotInfo", "srrd_schedule"]
+
+#: process-wide memo of shared immutable schedules, keyed by (n, h); see
+#: :meth:`Schedule.shared`
+_shared: Dict[Tuple[int, int], "Schedule"] = {}
 
 
 class SlotInfo:
@@ -90,6 +94,22 @@ class Schedule:
     def for_network(cls, n: int, h: int) -> "Schedule":
         """Build the schedule for ``n`` nodes with tuning parameter ``h``."""
         return cls(CoordinateSystem(n, h))
+
+    @classmethod
+    def shared(cls, n: int, h: int) -> "Schedule":
+        """The process-wide shared schedule for ``(n, h)``.
+
+        Schedules (and their coordinate systems) are immutable, so every
+        engine of a sweep cell shares one instance per network size instead
+        of rebuilding the phase/offset tables; ``Engine.__init__`` consults
+        this memo, and :func:`repro.sim.parallel.sweep` pre-warms it before
+        forking so workers share the parent's pages.
+        """
+        instance = _shared.get((n, h))
+        if instance is None:
+            instance = _shared.setdefault(
+                (n, h), cls(CoordinateSystem.shared(n, h)))
+        return instance
 
     # ------------------------------------------------------------------ #
     # timeslot decoding

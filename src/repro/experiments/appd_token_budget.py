@@ -38,6 +38,36 @@ class AppDResult:
     # (propagation_delay, t_f, t, throughput, guarantee, analytical_max_P)
 
 
+def _run_cell(
+    t_f: int,
+    delay: int,
+    n: int,
+    h: int,
+    duration: int,
+    flow_cells: int,
+    seed: int,
+) -> Tuple[int, int, int, float, float, int]:
+    """One (T_F, P) configuration's row — module-level for pools."""
+    schedule = Schedule.shared(n, h)
+    analytical = max_propagation_delay_first_hop(schedule, t_f)
+    cfg = SimConfig(
+        n=n, h=h, duration=duration, propagation_delay=delay,
+        congestion_control="hop-by-hop",
+        token_budget=1, first_hop_token_budget=t_f, seed=seed,
+    )
+    workload = permutation_workload(cfg, size_cells=flow_cells)
+    engine = Engine(cfg, workload=workload)
+    engine.run()
+    return (
+        delay,
+        t_f,
+        cfg.token_budget,
+        engine.throughput(),
+        schedule.throughput_guarantee(),
+        analytical,
+    )
+
+
 def run(
     n: int = 64,
     h: int = 2,
@@ -46,33 +76,21 @@ def run(
     duration: int = 20_000,
     flow_cells: int = 20_000,
     seed: int = 19,
+    workers: int = 1,
 ) -> AppDResult:
     """Sweep P x T_F on a saturating permutation workload."""
-    schedule = Schedule.for_network(n, h)
-    rows = []
-    for t_f in first_hop_budgets:
-        analytical = max_propagation_delay_first_hop(schedule, t_f)
-        for delay in propagation_delays:
-            cfg = SimConfig(
-                n=n, h=h, duration=duration, propagation_delay=delay,
-                congestion_control="hop-by-hop",
-                token_budget=1, first_hop_token_budget=t_f, seed=seed,
-            )
-            workload = permutation_workload(cfg, size_cells=flow_cells)
-            engine = Engine(cfg, workload=workload)
-            engine.run()
-            rows.append(
-                (
-                    delay,
-                    t_f,
-                    cfg.token_budget,
-                    engine.throughput(),
-                    schedule.throughput_guarantee(),
-                    analytical,
-                )
-            )
+    from ..sim.parallel import sweep
+
+    schedule = Schedule.shared(n, h)
+    grid = [
+        dict(t_f=t_f, delay=delay, n=n, h=h, duration=duration,
+             flow_cells=flow_cells, seed=seed)
+        for t_f in first_hop_budgets
+        for delay in propagation_delays
+    ]
     return AppDResult(
-        n=n, h=h, epoch_length=schedule.epoch_length, rows=rows
+        n=n, h=h, epoch_length=schedule.epoch_length,
+        rows=sweep(_run_cell, grid, workers=workers),
     )
 
 

@@ -15,7 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..analysis.theory import TradeoffPoint, tradeoff_curve
+from ..analysis.theory import (
+    TradeoffPoint,
+    effective_radix,
+    feasible_h_values,
+    throughput_guarantee,
+)
 from .common import format_table
 
 __all__ = ["Fig01Result", "run", "report"]
@@ -30,11 +35,28 @@ class Fig01Result:
     points: List[TradeoffPoint]
 
 
+def _point(n: int, slot_ns: float, h: int) -> TradeoffPoint:
+    """One tuning's (throughput, latency) point — module-level for sweeps."""
+    r = effective_radix(n, h)
+    latency = 2 * h * (r - 1)
+    return TradeoffPoint(
+        h=h,
+        radix=r,
+        throughput=throughput_guarantee(h),
+        latency_slots=latency,
+        latency_ns=latency * slot_ns,
+    )
+
+
 def run(n: int = 100_000, slot_ns: float = 5.632,
-        max_h: Optional[int] = None) -> Fig01Result:
+        max_h: Optional[int] = None, workers: int = 1) -> Fig01Result:
     """Regenerate the Fig. 1 curve (paper scale by default — it is cheap)."""
+    from ..sim.parallel import sweep
+
+    grid = [dict(n=n, slot_ns=slot_ns, h=h)
+            for h in feasible_h_values(n, max_h)]
     return Fig01Result(n=n, slot_ns=slot_ns,
-                       points=tradeoff_curve(n, slot_ns, max_h))
+                       points=sweep(_point, grid, workers=workers))
 
 
 def report(result: Fig01Result) -> str:

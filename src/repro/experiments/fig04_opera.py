@@ -38,20 +38,21 @@ class Fig04Result:
     propagation_delay: int
 
 
-def run(
-    n: int = 144,
-    duration: int = 60_000,
-    load: float = 0.4,
-    propagation_delay: int = 30,
-    opera_period_cells: int = 1450,
-    workload_scale: float = 0.02,
-    seed: int = 1,
-) -> Fig04Result:
-    """Run both systems on an identical heavy-tailed workload.
+def _run_system(
+    system: str,
+    n: int,
+    duration: int,
+    load: float,
+    propagation_delay: int,
+    opera_period_cells: int,
+    workload_scale: float,
+    seed: int,
+) -> Dict[int, float]:
+    """Tail FCT per bucket for one system — module-level so pools can run it.
 
-    ``workload_scale`` shrinks the flow-size distribution for down-scaled
-    horizons (see :mod:`repro.workloads.distributions`); pass 1.0 at paper
-    scale.
+    Both cells regenerate the identical workload from the same seed, so the
+    two systems see the same flows whether the cells run sequentially, in
+    parallel, or from the cell cache.
     """
     cfg = SimConfig(
         n=n,
@@ -62,32 +63,61 @@ def run(
         seed=seed,
     )
     distribution = HeavyTailedDistribution(scale=workload_scale)
-    workload = poisson_workload(cfg, distribution, load=load)
+    workload = list(poisson_workload(cfg, distribution, load=load))
 
-    shale = Engine(cfg, workload=list(workload))
-    shale.run()
-    shale.run_until_quiescent(max_extra=duration * 4)
-    shale_table = fct_table(shale.flows.completed, propagation_delay)
-
-    opera = OperaSimulator(
-        OperaConfig(
-            n=n,
-            period_cells=opera_period_cells,
-            propagation_cells=propagation_delay,
-            seed=seed,
+    if system == "shale":
+        shale = Engine(cfg, workload=workload)
+        shale.run()
+        shale.run_until_quiescent(max_extra=duration * 4)
+        return fct_table(shale.flows.completed, propagation_delay).tail(99.9)
+    if system == "opera":
+        opera = OperaSimulator(
+            OperaConfig(
+                n=n,
+                period_cells=opera_period_cells,
+                propagation_cells=propagation_delay,
+                seed=seed,
+            )
         )
+        opera.schedule_flows(workload)
+        opera.run(duration)
+        opera.run_until_quiescent()
+        table = FctTable(_bucketize(opera.completed, propagation_delay))
+        return table.tail(99.9)
+    raise ValueError(f"unknown system {system!r}")
+
+
+def run(
+    n: int = 144,
+    duration: int = 60_000,
+    load: float = 0.4,
+    propagation_delay: int = 30,
+    opera_period_cells: int = 1450,
+    workload_scale: float = 0.02,
+    seed: int = 1,
+    workers: int = 1,
+) -> Fig04Result:
+    """Run both systems on an identical heavy-tailed workload.
+
+    ``workload_scale`` shrinks the flow-size distribution for down-scaled
+    horizons (see :mod:`repro.workloads.distributions`); pass 1.0 at paper
+    scale.  ``workers > 1`` runs the two systems as parallel sweep cells.
+    """
+    from ..sim.parallel import sweep
+
+    shared = dict(
+        n=n, duration=duration, load=load,
+        propagation_delay=propagation_delay,
+        opera_period_cells=opera_period_cells,
+        workload_scale=workload_scale, seed=seed,
     )
-    opera.schedule_flows(list(workload))
-    opera.run(duration)
-    opera.run_until_quiescent()
-    opera_table = FctTable(
-        _bucketize(opera.completed, propagation_delay)
-    )
+    grid = [dict(system=system, **shared) for system in ("shale", "opera")]
+    shale_tails, opera_tails = sweep(_run_system, grid, workers=workers)
 
     return Fig04Result(
         n=n,
-        shale_tails=shale_table.tail(99.9),
-        opera_tails=opera_table.tail(99.9),
+        shale_tails=shale_tails,
+        opera_tails=opera_tails,
         propagation_delay=propagation_delay,
     )
 

@@ -37,6 +37,44 @@ class Fig08Result:
     # (h, hw_gbps, sim_gbps, hw_maxq, sim_maxq, guarantee_gbps)
 
 
+def _run_cell(
+    h: int,
+    n: int,
+    flow_cells: int,
+    duration: int,
+    propagation_delay: int,
+    seed: int,
+) -> Tuple[int, float, float, int, int, float]:
+    """One tuning's hardware-vs-simulator row — module-level for pools."""
+    timings = HardwareTimings()
+    cfg = SimConfig(
+        n=n, h=h, duration=duration,
+        propagation_delay=propagation_delay,
+        congestion_control="hbh+spray", seed=seed,
+    )
+    workload = permutation_workload(cfg, size_cells=flow_cells)
+
+    hw = HardwareNetwork(
+        n, h, propagation_delay=propagation_delay,
+        timings=timings, seed=seed,
+    )
+    for _, src, dst, cells, _bytes in workload:
+        hw.nodes[src].add_local_cells(dst, cells, 0)
+    hw.run(duration)
+
+    sim = Engine(cfg, workload=list(workload))
+    sim.run()
+    sim_cells_per_slot = sim.metrics.payload_cells_delivered / (
+        duration * n
+    )
+    sim_gbps = sim_cells_per_slot * timings.available_gbps
+    sim_maxq = sim.metrics.max_queue_length
+
+    guarantee = timings.available_gbps / (2 * h)
+    return (h, hw.throughput_gbps(), sim_gbps, hw.max_queue_length(),
+            sim_maxq, guarantee)
+
+
 def run(
     n: int = 16,
     h_values: Tuple[int, ...] = (2, 4),
@@ -44,47 +82,25 @@ def run(
     duration: int = 20_000,
     propagation_delay: int = 0,
     seed: int = 7,
+    workers: int = 1,
 ) -> Fig08Result:
     """Run the same permutation on both implementations for each ``h``.
 
     ``flow_cells`` defaults to ``duration`` so the permutation saturates the
     network for the whole measurement window (the paper's setup); passing a
     smaller value under-fills the run and dilutes average throughput.
+    ``workers > 1`` runs the tunings as parallel sweep cells.
     """
-    timings = HardwareTimings()
+    from ..sim.parallel import sweep
+
     if flow_cells <= 0:
         flow_cells = duration
-    rows = []
-    for h in h_values:
-        cfg = SimConfig(
-            n=n, h=h, duration=duration,
-            propagation_delay=propagation_delay,
-            congestion_control="hbh+spray", seed=seed,
-        )
-        workload = permutation_workload(cfg, size_cells=flow_cells)
-
-        hw = HardwareNetwork(
-            n, h, propagation_delay=propagation_delay,
-            timings=timings, seed=seed,
-        )
-        for _, src, dst, cells, _bytes in workload:
-            hw.nodes[src].add_local_cells(dst, cells, 0)
-        hw.run(duration)
-
-        sim = Engine(cfg, workload=list(workload))
-        sim.run()
-        sim_cells_per_slot = sim.metrics.payload_cells_delivered / (
-            duration * n
-        )
-        sim_gbps = sim_cells_per_slot * timings.available_gbps
-        sim_maxq = sim.metrics.max_queue_length
-
-        guarantee = timings.available_gbps / (2 * h)
-        rows.append(
-            (h, hw.throughput_gbps(), sim_gbps, hw.max_queue_length(),
-             sim_maxq, guarantee)
-        )
-    return Fig08Result(n=n, rows=rows)
+    grid = [
+        dict(h=h, n=n, flow_cells=flow_cells, duration=duration,
+             propagation_delay=propagation_delay, seed=seed)
+        for h in h_values
+    ]
+    return Fig08Result(n=n, rows=sweep(_run_cell, grid, workers=workers))
 
 
 def report(result: Fig08Result) -> str:

@@ -47,6 +47,48 @@ class Fig09Result:
     loads: Dict[float, float]
 
 
+def _run_cell(
+    s: float,
+    n: int,
+    h_bulk: int,
+    h_latency: int,
+    duration: int,
+    propagation_delay: int,
+    cutoff_cells: int,
+    workload_scale: float,
+    seed: int,
+) -> Tuple[float, Dict[int, float]]:
+    """One interleave share's (load, tails) — module-level for pools."""
+    load = combined_load(h_bulk, h_latency, s)
+    base = SimConfig(
+        n=n,
+        h=h_latency if s > 0 else h_bulk,
+        duration=duration,
+        propagation_delay=propagation_delay,
+        congestion_control="hbh+spray",
+        seed=seed,
+    )
+    distribution = HeavyTailedDistribution(scale=workload_scale)
+    workload = poisson_workload(base, distribution, load=load)
+    if s in (0.0, 1.0):
+        # single-schedule endpoints
+        from ..sim.engine import Engine
+
+        engine = Engine(base, workload=workload)
+        engine.run()
+        engine.run_until_quiescent(max_extra=duration * 3)
+        records = engine.flows.completed
+    else:
+        interleave = two_class_interleave(
+            n, h_bulk, h_latency, s, cutoff_cells=cutoff_cells
+        )
+        sim = MultiClassSimulation(interleave, base, workload=workload)
+        sim.run(duration)
+        sim.run_until_quiescent(max_extra=duration * 3)
+        records = sim.completed_flows()
+    return load, fct_table(records, propagation_delay).tail(99.9)
+
+
 def run(
     n: int = 81,
     h_bulk: int = 2,
@@ -57,44 +99,29 @@ def run(
     cutoff_cells: int = 64,
     workload_scale: float = 0.02,
     seed: int = 3,
+    workers: int = 1,
 ) -> Fig09Result:
     """Sweep the interleave share ``s`` on the heavy-tailed workload.
 
     ``n`` must be a perfect power for both tunings (81 = 3^4 = 9^2 works
-    for h=4 and h=2; use 4096 for h=1&4 at larger scale).
+    for h=4 and h=2; use 4096 for h=1&4 at larger scale).  ``workers > 1``
+    runs the shares as parallel sweep cells.
     """
+    from ..sim.parallel import sweep
+
+    grid = [
+        dict(s=s, n=n, h_bulk=h_bulk, h_latency=h_latency,
+             duration=duration, propagation_delay=propagation_delay,
+             cutoff_cells=cutoff_cells, workload_scale=workload_scale,
+             seed=seed)
+        for s in shares
+    ]
+    cells = sweep(_run_cell, grid, workers=workers)
     tails: Dict[float, Dict[int, float]] = {}
     loads: Dict[float, float] = {}
-    for s in shares:
-        load = combined_load(h_bulk, h_latency, s)
+    for s, (load, tail) in zip(shares, cells):
         loads[s] = load
-        base = SimConfig(
-            n=n,
-            h=h_latency if s > 0 else h_bulk,
-            duration=duration,
-            propagation_delay=propagation_delay,
-            congestion_control="hbh+spray",
-            seed=seed,
-        )
-        distribution = HeavyTailedDistribution(scale=workload_scale)
-        workload = poisson_workload(base, distribution, load=load)
-        if s in (0.0, 1.0):
-            # single-schedule endpoints
-            from ..sim.engine import Engine
-
-            engine = Engine(base, workload=workload)
-            engine.run()
-            engine.run_until_quiescent(max_extra=duration * 3)
-            records = engine.flows.completed
-        else:
-            interleave = two_class_interleave(
-                n, h_bulk, h_latency, s, cutoff_cells=cutoff_cells
-            )
-            sim = MultiClassSimulation(interleave, base, workload=workload)
-            sim.run(duration)
-            sim.run_until_quiescent(max_extra=duration * 3)
-            records = sim.completed_flows()
-        tails[s] = fct_table(records, propagation_delay).tail(99.9)
+        tails[s] = tail
     return Fig09Result(
         n=n, h_bulk=h_bulk, h_latency=h_latency, tails=tails, loads=loads
     )

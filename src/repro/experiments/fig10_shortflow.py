@@ -98,7 +98,7 @@ def _run_cell(
 
 
 def run(
-    n: int = 64,
+    n: int = 16,
     h_values: Sequence[int] = (2, 4),
     mechanisms: Sequence[str] = EVALUATION_ORDER,
     duration: int = 40_000,

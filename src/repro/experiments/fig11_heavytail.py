@@ -20,7 +20,7 @@ __all__ = ["run", "report"]
 
 
 def run(
-    n: int = 64,
+    n: int = 16,
     h_values: Sequence[int] = (2, 4),
     mechanisms: Sequence[str] = EVALUATION_ORDER,
     duration: int = 60_000,

@@ -69,6 +69,58 @@ def _pick_links(coords: CoordinateSystem, count: int,
     return rng.sample(all_links, count) if count else []
 
 
+def _run_cell(
+    h: int,
+    fraction: float,
+    n: int,
+    duration: int,
+    flow_cells: int,
+    permutations: int,
+    propagation_delay: int,
+    seed: int,
+    mode: str,
+    detection_epochs: int,
+) -> Fig12Row:
+    """One (h, failed fraction) cell — module-level so pools can run it."""
+    coords = CoordinateSystem.shared(n, h)
+    n_links = n * h * (coords.r - 1) // 2
+    rng = random.Random(seed + int(fraction * 1000))
+    node_frac = {"nodes": fraction, "links": 0.0,
+                 "mixed": fraction / 2}[mode]
+    link_frac = {"nodes": 0.0, "links": fraction,
+                 "mixed": fraction / 2}[mode]
+    failed_count = int(round(node_frac * n))
+    failed = rng.sample(range(n), failed_count) if failed_count else []
+    link_count = int(round(link_frac * n_links))
+    failed_links = _pick_links(coords, link_count, rng)
+    alive = [i for i in range(n) if i not in set(failed)]
+    cfg = SimConfig(
+        n=n, h=h, duration=duration,
+        propagation_delay=propagation_delay,
+        congestion_control="hbh+spray", seed=seed,
+    )
+    workload = overlaid_permutations_workload(
+        cfg, size_cells=flow_cells, count=permutations, nodes=alive
+    )
+    manager = FailureManager(
+        failed_nodes=failed, failed_links=failed_links,
+        detection_epochs=detection_epochs,
+    )
+    engine = Engine(cfg, workload=workload, failure_manager=manager)
+    monitor = RunMonitor().attach(engine)
+    engine.run()
+    return Fig12Row(
+        h=h,
+        fraction=fraction,
+        failed_count=failed_count + link_count,
+        throughput=engine.throughput(),
+        guarantee=1.0 / (2 * h),
+        detect_epochs=manager.mean_detection_epochs(),
+        drops=engine.metrics.cells_dropped,
+        conserved=not monitor.violations,
+    )
+
+
 def run(
     n: int = 81,
     h_values: Sequence[int] = (2, 4),
@@ -80,6 +132,7 @@ def run(
     seed: int = 23,
     mode: str = "nodes",
     detection_epochs: int = 1,
+    workers: int = 1,
 ) -> Fig12Result:
     """Sweep failed fractions for each tuning.
 
@@ -89,50 +142,22 @@ def run(
             (half the budget to each).
         detection_epochs: consecutive missed cells before a neighbour is
             declared down (forwarded to :class:`FailureManager`).
+        workers: fan the grid cells out over a process pool when ``> 1``.
     """
     if mode not in ("nodes", "links", "mixed"):
         raise ValueError(f"unknown failure mode {mode!r}")
-    rows: List[Fig12Row] = []
-    for h in h_values:
-        coords = CoordinateSystem(n, h)
-        n_links = n * h * (coords.r - 1) // 2
-        for fraction in failed_fractions:
-            rng = random.Random(seed + int(fraction * 1000))
-            node_frac = {"nodes": fraction, "links": 0.0,
-                         "mixed": fraction / 2}[mode]
-            link_frac = {"nodes": 0.0, "links": fraction,
-                         "mixed": fraction / 2}[mode]
-            failed_count = int(round(node_frac * n))
-            failed = rng.sample(range(n), failed_count) if failed_count else []
-            link_count = int(round(link_frac * n_links))
-            failed_links = _pick_links(coords, link_count, rng)
-            alive = [i for i in range(n) if i not in set(failed)]
-            cfg = SimConfig(
-                n=n, h=h, duration=duration,
-                propagation_delay=propagation_delay,
-                congestion_control="hbh+spray", seed=seed,
-            )
-            workload = overlaid_permutations_workload(
-                cfg, size_cells=flow_cells, count=permutations, nodes=alive
-            )
-            manager = FailureManager(
-                failed_nodes=failed, failed_links=failed_links,
-                detection_epochs=detection_epochs,
-            )
-            engine = Engine(cfg, workload=workload, failure_manager=manager)
-            monitor = RunMonitor().attach(engine)
-            engine.run()
-            rows.append(Fig12Row(
-                h=h,
-                fraction=fraction,
-                failed_count=failed_count + link_count,
-                throughput=engine.throughput(),
-                guarantee=1.0 / (2 * h),
-                detect_epochs=manager.mean_detection_epochs(),
-                drops=engine.metrics.cells_dropped,
-                conserved=not monitor.violations,
-            ))
-    return Fig12Result(n=n, mode=mode, rows=rows)
+    from ..sim.parallel import sweep
+
+    grid = [
+        dict(h=h, fraction=fraction, n=n, duration=duration,
+             flow_cells=flow_cells, permutations=permutations,
+             propagation_delay=propagation_delay, seed=seed, mode=mode,
+             detection_epochs=detection_epochs)
+        for h in h_values
+        for fraction in failed_fractions
+    ]
+    return Fig12Result(n=n, mode=mode,
+                       rows=sweep(_run_cell, grid, workers=workers))
 
 
 def report(result: Fig12Result) -> str:

@@ -44,36 +44,50 @@ class Fig13Result:
     # (h, n, max_active_buckets, max_pieo_length, fct_tail per bucket)
 
 
+def _run_cell(
+    h: int,
+    n: int,
+    duration: int,
+    propagation_delay: int,
+    seed: int,
+) -> Tuple[int, int, int, int, Dict[int, float]]:
+    """One (h, N) size point — module-level so process pools can run it."""
+    cfg = SimConfig(
+        n=n, h=h, duration=duration,
+        propagation_delay=propagation_delay,
+        congestion_control="hbh+spray", seed=seed,
+    )
+    workload = workload_for(cfg, "short-flow", load=load_for(h))
+    engine = run_cc_experiment(cfg, workload)
+    observation = observe_resources(engine)
+    table = fct_table(engine.flows.completed, propagation_delay)
+    return (
+        h,
+        n,
+        observation.max_active_buckets,
+        observation.max_pieo_length,
+        table.tail(99.9),
+    )
+
+
 def run(
     sizes: Optional[Dict[int, Sequence[int]]] = None,
     duration: int = 30_000,
     propagation_delay: int = 8,
     seed: int = 13,
+    workers: int = 1,
 ) -> Fig13Result:
     """Sweep system size for each tuning on the short flow workload."""
+    from ..sim.parallel import sweep
+
     sizes = {int(k): tuple(v) for k, v in (sizes or DEFAULT_SIZES).items()}
-    rows = []
-    for h, size_list in sorted(sizes.items()):
-        for n in size_list:
-            cfg = SimConfig(
-                n=n, h=h, duration=duration,
-                propagation_delay=propagation_delay,
-                congestion_control="hbh+spray", seed=seed,
-            )
-            workload = workload_for(cfg, "short-flow", load=load_for(h))
-            engine = run_cc_experiment(cfg, workload)
-            observation = observe_resources(engine)
-            table = fct_table(engine.flows.completed, propagation_delay)
-            rows.append(
-                (
-                    h,
-                    n,
-                    observation.max_active_buckets,
-                    observation.max_pieo_length,
-                    table.tail(99.9),
-                )
-            )
-    return Fig13Result(rows=rows)
+    grid = [
+        dict(h=h, n=n, duration=duration,
+             propagation_delay=propagation_delay, seed=seed)
+        for h, size_list in sorted(sizes.items())
+        for n in size_list
+    ]
+    return Fig13Result(rows=sweep(_run_cell, grid, workers=workers))
 
 
 def report(result: Fig13Result) -> str:

@@ -22,24 +22,27 @@ __all__ = ["run", "report"]
 
 def run(
     workload_name: str = "short-flow",
-    n: int = 64,
+    n: int = 16,
     h_values: Sequence[int] = (2, 4),
     mechanisms: Sequence[str] = EVALUATION_ORDER,
     duration: int = 40_000,
     propagation_delay: int = 8,
     seed: int = 5,
     load: Optional[float] = None,
+    workers: int = 1,
 ) -> CcResult:
     """Run the CC grid (the mean statistics are computed alongside)."""
     if workload_name == "short-flow":
         return _run_shortflow(
             n=n, h_values=h_values, mechanisms=mechanisms, duration=duration,
             propagation_delay=propagation_delay, seed=seed, load=load,
+            workers=workers,
         )
     if workload_name == "heavy-tailed":
         return _run_heavytail(
             n=n, h_values=h_values, mechanisms=mechanisms, duration=duration,
             propagation_delay=propagation_delay, seed=seed, load=load,
+            workers=workers,
         )
     raise ValueError(f"unknown workload {workload_name!r}")
 

@@ -20,19 +20,21 @@ __all__ = ["run", "report"]
 
 def run(
     workload_name: str = "short-flow",
-    n: int = 64,
+    n: int = 16,
     h_values: Sequence[int] = (2, 4),
     mechanisms: Sequence[str] = EVALUATION_ORDER,
     duration: int = 40_000,
     propagation_delay: int = 8,
     seed: int = 5,
     load: Optional[float] = None,
+    workers: int = 1,
 ) -> CcResult:
     """Run the CC grid (queue statistics are computed alongside)."""
     return _run(
         workload_name=workload_name, n=n, h_values=h_values,
         mechanisms=mechanisms, duration=duration,
         propagation_delay=propagation_delay, seed=seed, load=load,
+        workers=workers,
     )
 
 

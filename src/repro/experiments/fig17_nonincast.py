@@ -39,25 +39,22 @@ class Fig17Result:
     excluded_destinations: int
 
 
-def run(
-    n: int = 64,
-    h: int = 2,
-    mechanisms: Sequence[str] = ("isd", "ndp", "hbh+spray"),
-    duration: int = 60_000,
-    propagation_delay: int = 8,
-    seed: int = 17,
-    elephant_bytes: Optional[int] = None,
-    workload_scale: float = 0.02,
-    load: Optional[float] = None,
-) -> Fig17Result:
-    """Heavy-tailed grid plus the non-incast filtered view.
+def _run_cell(
+    mechanism: str,
+    n: int,
+    h: int,
+    duration: int,
+    propagation_delay: int,
+    seed: int,
+    elephant_bytes: int,
+    workload_scale: float,
+    load: Optional[float],
+) -> Dict[str, Dict[int, float]]:
+    """One mechanism's all/no-incast tails — module-level for pools.
 
-    The elephant threshold defaults to the paper's 256 MB multiplied by
-    ``workload_scale``, so the filter keeps its meaning when the flow-size
-    distribution is down-scaled.
+    The workload (and hence the elephant-destination set) regenerates
+    deterministically from the seed, so every cell filters identically.
     """
-    if elephant_bytes is None:
-        elephant_bytes = max(1, int(ELEPHANT_BYTES * workload_scale))
     base = SimConfig(
         n=n, h=h, duration=duration, propagation_delay=propagation_delay,
         congestion_control="none", seed=seed,
@@ -70,23 +67,63 @@ def run(
         dst for (_t, _src, dst, _cells, size_bytes) in workload
         if size_bytes > elephant_bytes
     }
+    cfg = replace(base, congestion_control=mechanism)
+    engine = run_cc_experiment(cfg, workload)
+    records = engine.flows.completed
+    return {
+        "all": fct_table(records, propagation_delay).tail(99.9),
+        "non_incast": fct_table(
+            records, propagation_delay, exclude_dsts=sorted(elephant_dsts)
+        ).tail(99.9),
+        "excluded": len(elephant_dsts),
+    }
+
+
+def run(
+    n: int = 64,
+    h: int = 2,
+    mechanisms: Sequence[str] = ("isd", "ndp", "hbh+spray"),
+    duration: int = 60_000,
+    propagation_delay: int = 8,
+    seed: int = 17,
+    elephant_bytes: Optional[int] = None,
+    workload_scale: float = 0.02,
+    load: Optional[float] = None,
+    workers: int = 1,
+) -> Fig17Result:
+    """Heavy-tailed grid plus the non-incast filtered view.
+
+    The elephant threshold defaults to the paper's 256 MB multiplied by
+    ``workload_scale``, so the filter keeps its meaning when the flow-size
+    distribution is down-scaled.  ``workers > 1`` runs the mechanisms as
+    parallel sweep cells.
+    """
+    from ..sim.parallel import sweep
+
+    if elephant_bytes is None:
+        elephant_bytes = max(1, int(ELEPHANT_BYTES * workload_scale))
+    grid = [
+        dict(mechanism=mechanism, n=n, h=h, duration=duration,
+             propagation_delay=propagation_delay, seed=seed,
+             elephant_bytes=elephant_bytes, workload_scale=workload_scale,
+             load=load)
+        for mechanism in mechanisms
+    ]
+    cells = sweep(_run_cell, grid, workers=workers)
     all_tails: Dict[str, Dict[int, float]] = {}
     non_incast: Dict[str, Dict[int, float]] = {}
-    for mechanism in mechanisms:
-        cfg = replace(base, congestion_control=mechanism)
-        engine = run_cc_experiment(cfg, workload)
-        records = engine.flows.completed
-        all_tails[mechanism] = fct_table(records, propagation_delay).tail(99.9)
-        non_incast[mechanism] = fct_table(
-            records, propagation_delay, exclude_dsts=sorted(elephant_dsts)
-        ).tail(99.9)
+    excluded = 0
+    for mechanism, cell in zip(mechanisms, cells):
+        all_tails[mechanism] = cell["all"]
+        non_incast[mechanism] = cell["non_incast"]
+        excluded = cell["excluded"]
     return Fig17Result(
         n=n,
         h=h,
         elephant_bytes=elephant_bytes,
         all_tails=all_tails,
         non_incast_tails=non_incast,
-        excluded_destinations=len(elephant_dsts),
+        excluded_destinations=excluded,
     )
 
 

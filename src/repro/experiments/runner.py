@@ -22,6 +22,17 @@ byte-identical across runs with the same seed), ``<experiment>.runtime.json``
 (wall clock, slots/sec, peak RSS) and ``<experiment>.events.jsonl`` (the
 structured event log).
 
+``--workers N`` (default :func:`repro.sim.parallel.default_workers`) fans
+each experiment's grid cells out over a process pool — both for a single
+experiment and for every experiment of an ``all`` sweep.  Results are
+byte-identical to sequential runs; pass ``--workers 1`` to force
+sequential execution.
+
+``--cache DIR`` (or the ``REPRO_CACHE`` environment variable) installs a
+content-addressed cell cache (:mod:`repro.sim.cellcache`): grid cells
+already computed with identical code + configuration are restored instead
+of re-simulated, and per-experiment hit/miss counts are reported.
+
 A failing experiment no longer aborts an ``all`` sweep: the failure is
 reported, the remaining experiments still run, and the exit status is
 non-zero.
@@ -32,6 +43,7 @@ from __future__ import annotations
 import argparse
 import ast
 import inspect
+import os
 import pathlib
 import sys
 import time
@@ -73,6 +85,21 @@ def split_overrides(
     accepted = {k: v for k, v in overrides.items() if k in params}
     rejected = {k: v for k, v in overrides.items() if k not in params}
     return accepted, rejected
+
+
+def accepts_workers(module) -> bool:
+    """Whether ``module.run`` has an explicit ``workers`` parameter.
+
+    A bare ``**kwargs`` does NOT count — injecting ``workers`` into a
+    ``run()`` that merely swallows keywords would change its behaviour
+    silently, so only experiments that declare the parameter get it.
+    """
+    params = inspect.signature(module.run).parameters
+    param = params.get("workers")
+    return param is not None and param.kind in (
+        inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        inspect.Parameter.KEYWORD_ONLY,
+    )
 
 
 def run_experiment_result(
@@ -159,6 +186,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="instrument the runs and write <experiment>.json results, "
              "time series, manifests and event logs into DIR",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for each experiment's grid cells "
+             "(default: one per spare core, capped; 1 = sequential)",
+    )
+    parser.add_argument(
+        "--cache",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="content-addressed cell cache directory (default: the "
+             "REPRO_CACHE environment variable, if set)",
+    )
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
@@ -181,6 +224,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         else [args.experiment]
     )
     overrides = _parse_overrides(args.overrides)
+
+    if args.workers is not None:
+        workers = args.workers
+    else:
+        from ..sim.parallel import default_workers
+
+        workers = default_workers()
+
+    cache = None
+    previous_cache = None
+    cache_dir = args.cache or os.environ.get("REPRO_CACHE") or None
+    if cache_dir:
+        from ..sim.cellcache import CellCache, set_default_cache
+
+        cache = CellCache(cache_dir)
+        previous_cache = set_default_cache(cache)
+
+    try:
+        return _run_all(names, overrides, workers, cache, args)
+    finally:
+        if cache is not None:
+            from ..sim.cellcache import set_default_cache
+
+            set_default_cache(previous_cache)
+
+
+def _run_all(names: List[str], overrides: Dict[str, Any], workers: int,
+             cache, args) -> int:
     sweep_mode = len(names) > 1
     failed: List[str] = []
     for index, name in enumerate(names, 1):
@@ -201,8 +272,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr, flush=True,
             )
         else:
-            accepted = overrides  # single run: let unknown keys fail loudly
+            accepted = dict(overrides)  # single run: unknown keys fail loudly
+        if "workers" not in accepted and accepts_workers(module):
+            accepted["workers"] = workers
         started = time.time()
+        stats0 = cache.stats() if cache is not None else None
         capture = None
         try:
             if args.telemetry is not None:
@@ -223,6 +297,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(report)
         print(f"[{name} finished in {elapsed:.1f}s]")
         print()
+        if cache is not None:
+            stats = cache.stats()
+            print(
+                f"[{name}] cache: "
+                f"{stats['hits'] - stats0['hits']} hits, "
+                f"{stats['misses'] - stats0['misses']} misses, "
+                f"{stats['writes'] - stats0['writes']} writes",
+                file=sys.stderr,
+            )
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
             (args.out / f"{name}.txt").write_text(report + "\n")

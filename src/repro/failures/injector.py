@@ -63,7 +63,7 @@ class FaultInjector:
                 raise ValueError(f"{name} must be non-negative, got {value}")
         if duration <= 0:
             raise ValueError(f"duration must be positive, got {duration}")
-        coords = CoordinateSystem(n, h)
+        coords = CoordinateSystem.shared(n, h)
         self.n = n
         self.h = h
         self.duration = duration

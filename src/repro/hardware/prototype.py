@@ -351,8 +351,8 @@ class HardwareNetwork:
         active_bucket_slots: int = 4096,
         seed: int = 1,
     ):
-        self.coords = CoordinateSystem(n, h)
-        self.schedule = Schedule(self.coords)
+        self.schedule = Schedule.shared(n, h)
+        self.coords = self.schedule.coords
         self.timings = timings if timings is not None else HardwareTimings()
         self.token_budget = token_budget
         self.first_hop_budget = first_hop_budget or token_budget

@@ -19,6 +19,7 @@ telemetry from parallel sweeps is as deterministic as from sequential runs.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
 from ..sim import engine as _engine_mod
@@ -110,6 +111,26 @@ class TelemetryCapture:
     def merge(self, item: SweepTelemetry) -> None:
         """Fold telemetry shipped home by a sweep worker into this capture."""
         self._foreign.append(item)
+
+    @contextmanager
+    def suspended(self):
+        """Temporarily stop registering newly built engines with this capture.
+
+        Used by :func:`repro.sim.parallel.sweep` when it evaluates a cell
+        in-process (sequential mode, or the pool-unavailable fallback) while
+        this capture is active: the cell runs under its own private
+        :class:`TelemetryCapture` whose bundle is merged in grid order, and
+        suspending the outer hook prevents the same engines from *also*
+        registering here out of order.
+        """
+        hooked = self._on_engine in _engine_mod._construction_hooks
+        if hooked:
+            _engine_mod._construction_hooks.remove(self._on_engine)
+        try:
+            yield
+        finally:
+            if hooked:
+                _engine_mod._construction_hooks.append(self._on_engine)
 
     # ------------------------------------------------------------------ #
     # collection

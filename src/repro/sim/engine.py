@@ -23,7 +23,6 @@ from collections import deque
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.cell import Cell
-from ..core.coordinates import CoordinateSystem
 from ..core.header import TOKEN_REGULAR, Token
 from ..core.schedule import Schedule
 from .config import SimConfig
@@ -65,8 +64,10 @@ class Engine:
         failure_manager=None,
     ):
         self.config = config
-        self.coords = CoordinateSystem(config.n, config.h)
-        self.schedule = Schedule(self.coords)
+        # coordinate/schedule tables are immutable and depend only on (n, h):
+        # every engine of a sweep shares one process-wide instance per size
+        self.schedule = Schedule.shared(config.n, config.h)
+        self.coords = self.schedule.coords
         self.rng = random.Random(config.seed)
         self.flows = FlowTable()
         self.metrics = MetricsCollector(

@@ -15,16 +15,45 @@ pass a top-level worker like::
 
     results = sweep(_cell, grid, workers=4)
 
-Results are returned in grid order regardless of completion order.
+Results are returned in grid order regardless of completion order
+(dispatch uses ``imap_unordered`` + grid-order reassembly, so a slow cell
+never blocks progress reporting on the fast ones).
+
+On top of plain dispatch the sweep provides:
+
+* **Caching** — pass ``cache=`` (a :class:`~repro.sim.cellcache.CellCache`
+  or a directory) or install a process-wide default via the runner's
+  ``--cache`` flag; cells whose content key is already stored are restored
+  instead of recomputed, byte-identical to a fresh run.
+* **Determinism digests** — with ``digest=True`` (implied by caching),
+  every engine built inside a cell gets a
+  :class:`~repro.sim.digest.DeterminismDigest`; the hexdigests ride along
+  in each :class:`CellOutcome` for parallel-vs-sequential equivalence
+  checks.
+* **Crash isolation** — a cell that raises inside a worker is logged and
+  retried once sequentially in the parent instead of killing the sweep.
+* **Shared immutable tables** — the ``(n, h)`` coordinate/schedule memo is
+  pre-warmed in the parent before forking so workers share the pages.
+* **Telemetry cooperation** — workers forked under an ambient
+  :class:`~repro.obs.capture.TelemetryCapture` wrap their cells in a
+  private capture and ship the telemetry home with the result; the parent
+  merges it in grid order, stamping each cell's wall clock into the
+  runtime sidecar records.  The sequential paths (including the
+  pool-unavailable fallback) route through the same wrapper, so no path
+  loses telemetry.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Any, Callable, Dict, List, Optional, Sequence
+import sys
+import time
+import traceback
+from contextlib import ExitStack, contextmanager
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["sweep", "default_workers"]
+__all__ = ["sweep", "sweep_cells", "default_workers", "CellOutcome"]
 
 
 def default_workers(cap: int = 8) -> int:
@@ -36,41 +65,288 @@ def default_workers(cap: int = 8) -> int:
     return max(1, min(cap, cores - 1))
 
 
-def _invoke(payload):
-    fn, kwargs = payload
-    # Workers forked under a TelemetryCapture inherit the parent's capture
-    # object, but engines registered there would die with the process: wrap
-    # the cell in a private capture and ship the telemetry home with the
-    # result instead (imported lazily to keep sim importable without obs).
+def _log(message: str) -> None:
+    print(message, file=sys.stderr, flush=True)
+
+
+class CellOutcome:
+    """One evaluated (or cache-restored) grid cell.
+
+    Attributes:
+        value: the worker's return value, or a
+            :class:`~repro.obs.capture.SweepTelemetry` wrapping it when a
+            telemetry capture was active.
+        digests: hexdigests of the :class:`DeterminismDigest` of every
+            engine the cell constructed, in construction order (empty when
+            digests were not requested or the cell builds no engines).
+        wall: the cell's compute wall-clock seconds (a cache hit keeps
+            the wall of the run that originally computed it).
+        cached: whether the outcome was restored from the cell cache.
+    """
+
+    __slots__ = ("value", "digests", "wall", "cached")
+
+    def __init__(self, value: Any, digests: Tuple[str, ...] = (),
+                 wall: float = 0.0, cached: bool = False):
+        self.value = value
+        self.digests = digests
+        self.wall = wall
+        self.cached = cached
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (f"CellOutcome(wall={self.wall:.3f}s, cached={self.cached}, "
+                f"digests={len(self.digests)})")
+
+
+class _CellFailure:
+    """A worker-side exception, shipped home as data (crash isolation)."""
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: str):
+        self.message = message
+
+
+@contextmanager
+def _digest_hooks(digests: List[str]):
+    """Attach a DeterminismDigest to every engine built inside the block.
+
+    The digest is a pure observer (see ``tests/test_golden_traces.py``), so
+    enabling it never perturbs the simulated event stream.  Hexdigests are
+    appended to ``digests`` in engine-construction order on exit.
+    """
+    from . import engine as _engine_mod
+
+    collected = []
+
+    def hook(engine):
+        engine.enable_digest()
+        collected.append(engine)
+
+    _engine_mod._construction_hooks.append(hook)
+    try:
+        yield
+    finally:
+        _engine_mod._construction_hooks.remove(hook)
+        # read the live digest at exit: a cell that calls enable_digest()
+        # itself replaces the hook's instance, and the replacement is the
+        # one that actually observed the run
+        digests.extend(e.digest.hexdigest() for e in collected
+                       if e.digest is not None)
+
+
+def _invoke(fn: Callable, kwargs: Dict[str, Any],
+            want_digest: bool) -> CellOutcome:
+    """Run one cell, wrapping it for telemetry shipping and digests.
+
+    Used identically by forked workers and by every sequential path (the
+    ``workers <= 1`` case and the pool-unavailable fallback), so telemetry
+    and digest behavior cannot diverge between dispatch modes.
+    """
     from ..obs import capture as _capture
 
-    if _capture.current_capture() is None:
-        return fn(**kwargs)
-    with _capture.TelemetryCapture() as cell_capture:
+    started = time.perf_counter()
+    digests: List[str] = []
+    outer = _capture.current_capture()
+    with ExitStack() as stack:
+        cell_capture = None
+        if outer is not None:
+            # Engines must register with a private per-cell capture (whose
+            # bundle is shipped home and merged in grid order), never
+            # directly with the ambient one — in a forked worker the
+            # ambient capture is an unreachable copy, and in the parent a
+            # double registration would duplicate every run.
+            stack.enter_context(outer.suspended())
+            cell_capture = stack.enter_context(_capture.TelemetryCapture())
+        if want_digest:
+            stack.enter_context(_digest_hooks(digests))
         result = fn(**kwargs)
-    runs, runtimes, events = cell_capture.collect_bundle()
-    return _capture.SweepTelemetry(result, runs, runtimes, events)
+    if cell_capture is not None:
+        runs, runtimes, events = cell_capture.collect_bundle()
+        result = _capture.SweepTelemetry(result, runs, runtimes, events)
+    return CellOutcome(result, tuple(digests),
+                       time.perf_counter() - started)
 
 
-def _unwrap(results, active_capture):
-    """Merge shipped-home telemetry (grid order) and strip the wrappers."""
-    from ..obs.capture import SweepTelemetry
+def _invoke_payload(payload):
+    """Pool entry point: evaluate one indexed cell, never raise."""
+    index, fn, kwargs, want_digest = payload
+    try:
+        return index, _invoke(fn, kwargs, want_digest)
+    except Exception:
+        return index, _CellFailure(traceback.format_exc())
 
-    out = []
-    for item in results:
-        if isinstance(item, SweepTelemetry):
-            if active_capture is not None:
-                active_capture.merge(item)
-            out.append(item.result)
+
+def _warm_shared_tables(cells: Sequence[Dict[str, Any]]) -> None:
+    """Pre-build the (n, h) coordinate/schedule memo before forking.
+
+    Workers inherit the parent's pages copy-on-write, so warming the
+    immutable tables once here means no worker rebuilds them.  Cells name
+    their size/tuning with the conventional ``n`` / ``h`` (or
+    ``h_bulk``/``h_latency``) kwargs; anything else simply stays cold.
+    """
+    from ..core.schedule import Schedule
+
+    warmed = set()
+    for cell in cells:
+        n = cell.get("n")
+        if not isinstance(n, int) or n > 65536:
+            continue
+        for key in ("h", "h_bulk", "h_latency"):
+            h = cell.get(key)
+            if isinstance(h, int) and (n, h) not in warmed:
+                warmed.add((n, h))
+                try:
+                    Schedule.shared(n, h)
+                except ValueError:
+                    pass  # not a perfect power for this tuning
+
+
+def sweep_cells(
+    fn: Callable[..., Any],
+    grid: Sequence[Dict[str, Any]],
+    workers: Optional[int] = None,
+    *,
+    cache=None,
+    label: Optional[str] = None,
+    digest: bool = False,
+) -> List[CellOutcome]:
+    """Evaluate ``fn(**cell)`` for every cell; return rich outcomes.
+
+    Args:
+        fn: a picklable (module-level) function.
+        grid: keyword-argument dictionaries, one per cell.
+        workers: process count; ``None`` or ``<= 1`` runs sequentially.
+        cache: a :class:`~repro.sim.cellcache.CellCache` (or a directory
+            path for one); ``None`` uses the ambient default cache, which
+            is off unless the runner installed one.
+        label: tag for progress lines (defaults to ``fn``'s module name).
+        digest: force per-engine determinism digests even without a cache.
+
+    Returns:
+        :class:`CellOutcome` objects in grid order.
+    """
+    from . import cellcache as _cellcache
+    from ..obs.capture import current_capture
+
+    cells = [dict(cell) for cell in grid]
+    if cache is None:
+        cache = _cellcache.default_cache()
+    elif not isinstance(cache, _cellcache.CellCache):
+        cache = _cellcache.CellCache(cache)
+    want_digest = digest or cache is not None
+    if workers is None:
+        workers = 1
+    if label is None:
+        label = getattr(fn, "__module__", "cells").rsplit(".", 1)[-1]
+
+    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+    keys: List[Optional[str]] = [None] * len(cells)
+    telemetry_active = current_capture() is not None
+    pending: List[int] = []
+    for i, cell in enumerate(cells):
+        if cache is not None:
+            keys[i] = cache.key_for(fn, cell, telemetry=telemetry_active)
+            hit = cache.get(keys[i])
+            if hit is not _cellcache.MISS:
+                hit.cached = True
+                outcomes[i] = hit
+                continue
+        pending.append(i)
+    hits = len(cells) - len(pending)
+    if hits and len(cells) > 1:
+        _log(f"[sweep {label}] {hits}/{len(cells)} cells restored from "
+             f"cache")
+
+    def run_sequential(indices: List[int]) -> None:
+        for count, i in enumerate(indices, 1):
+            outcomes[i] = _invoke(fn, cells[i], want_digest)
+            if len(indices) > 1:
+                _log(f"[sweep {label}] cell {i + 1}/{len(cells)} done in "
+                     f"{outcomes[i].wall:.1f}s "
+                     f"({count}/{len(indices)} this run)")
+
+    if workers <= 1 or len(pending) <= 1:
+        run_sequential(pending)
+    else:
+        _warm_shared_tables([cells[i] for i in pending])
+        payloads = [(i, fn, cells[i], want_digest) for i in pending]
+        failed: List[int] = []
+        try:
+            # fork keeps imports cheap and shares the pre-warmed tables;
+            # chunksize stays 1 because cells are whole simulations — the
+            # IPC cost per dispatch is noise next to the cell itself
+            context = multiprocessing.get_context("fork")
+            pool_size = min(workers, len(pending))
+            done = 0
+            with context.Pool(processes=pool_size) as pool:
+                for i, out in pool.imap_unordered(_invoke_payload, payloads):
+                    if isinstance(out, _CellFailure):
+                        failed.append(i)
+                        _log(f"[sweep {label}] cell {i + 1}/{len(cells)} "
+                             f"failed in a worker (will retry "
+                             f"sequentially):\n{out.message}")
+                    else:
+                        outcomes[i] = out
+                        done += 1
+                        _log(f"[sweep {label}] cell {i + 1}/{len(cells)} "
+                             f"done in {out.wall:.1f}s "
+                             f"({done}/{len(payloads)} this run)")
+        except (OSError, ValueError) as exc:
+            # a start method or the pool itself is unavailable (restricted
+            # sandboxes); fall back sequentially WITHOUT losing telemetry —
+            # the same _invoke wrapper runs in-process
+            _log(f"[sweep {label}] process pool unavailable ({exc!r}); "
+                 f"running remaining cells sequentially")
+            run_sequential([i for i in pending if outcomes[i] is None])
+            failed = []
+        # crash isolation: one sequential retry per failed cell; a second
+        # failure propagates like any sequential error would
+        for i in failed:
+            outcomes[i] = _invoke(fn, cells[i], want_digest)
+    if cache is not None:
+        for i in pending:
+            out = outcomes[i]
+            if out is not None and not out.cached:
+                cache.put(keys[i], out)
+    return outcomes
+
+
+def _finalize(outcomes: List[CellOutcome]) -> List[Any]:
+    """Merge shipped-home telemetry (grid order) and strip the wrappers.
+
+    Each cell's wall clock (and cache provenance) is stamped into its
+    runtime sidecar records on the way through, so the runner's
+    ``<exp>.runtime.json`` carries per-cell timings while the
+    deterministic ``<exp>.json`` stays byte-identical.
+    """
+    from ..obs.capture import SweepTelemetry, current_capture
+
+    active = current_capture()
+    values: List[Any] = []
+    for out in outcomes:
+        value = out.value
+        if isinstance(value, SweepTelemetry):
+            if active is not None:
+                for entry in value.runtimes:
+                    runtime = entry.get("runtime")
+                    if isinstance(runtime, dict):
+                        runtime["cell_wall_seconds"] = out.wall
+                        runtime["cell_cached"] = out.cached
+                active.merge(value)
+            values.append(value.result)
         else:
-            out.append(item)
-    return out
+            values.append(value)
+    return values
 
 
 def sweep(
     fn: Callable[..., Any],
     grid: Sequence[Dict[str, Any]],
     workers: Optional[int] = None,
+    *,
+    cache=None,
+    label: Optional[str] = None,
 ) -> List[Any]:
     """Evaluate ``fn(**cell)`` for every cell of ``grid``.
 
@@ -78,28 +354,11 @@ def sweep(
         fn: a picklable (module-level) function.
         grid: keyword-argument dictionaries, one per cell.
         workers: process count; ``None`` or ``<= 1`` runs sequentially.
+        cache: optional cell cache (see :func:`sweep_cells`).
+        label: tag for progress lines.
 
     Returns:
         Results in the same order as ``grid``.
     """
-    cells = list(grid)
-    if workers is None:
-        workers = 1
-    if workers <= 1 or len(cells) <= 1:
-        return [fn(**cell) for cell in cells]
-    payloads = [(fn, cell) for cell in cells]
-    # fork keeps imports cheap; fall back to sequential when a start method
-    # is unavailable (e.g. restricted sandboxes).
-    try:
-        context = multiprocessing.get_context("fork")
-        pool_size = min(workers, len(cells))
-        # chunked dispatch amortises IPC overhead across grid cells while
-        # still leaving ~4 chunks per worker for load balancing
-        chunksize = max(1, len(cells) // (pool_size * 4))
-        with context.Pool(processes=pool_size) as pool:
-            results = pool.map(_invoke, payloads, chunksize=chunksize)
-    except (OSError, ValueError):
-        return [fn(**cell) for cell in cells]
-    from ..obs.capture import current_capture
-
-    return _unwrap(results, current_capture())
+    return _finalize(sweep_cells(fn, grid, workers,
+                                 cache=cache, label=label))
