@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""CI smoke: SIGKILL a fig08 cell mid-run, resume, demand byte-identical output.
+
+The strongest end-to-end claim the checkpoint subsystem makes: a sweep
+interrupted by a hard kill (no atexit, no cleanup — SIGKILL) and resumed
+from its on-disk snapshots produces artifacts *byte-identical* to an
+uninterrupted run — the text report and the deterministic telemetry JSON.
+
+Procedure:
+
+1. run ``fig08`` cleanly into ``clean/``;
+2. run it again into ``resumed/`` with ``--checkpoint-dir``, poll for the
+   first ``*.ckpt`` snapshot to appear, then SIGKILL the process;
+3. re-run the same command to completion — the interrupted cell must
+   resume from its snapshot (asserted via the runtime sidecar);
+4. compare ``fig08.txt`` and ``fig08.json`` across the two directories.
+
+Exit 0 only if everything matches.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: small enough for CI, big enough for several snapshots per cell
+FIG_ARGS = ["fig08", "--set", "n=16", "--set", "duration=12000",
+            "--workers", "1"]
+CHECKPOINT_EVERY = "2000"
+KILL_POLL_SECONDS = 0.05
+KILL_TIMEOUT_SECONDS = 300
+
+
+def _cmd(out_dir, ckpt_dir=None):
+    cmd = [sys.executable, "-m", "repro", *FIG_ARGS,
+           "--out", str(out_dir), "--telemetry", str(out_dir)]
+    if ckpt_dir is not None:
+        cmd += ["--checkpoint-dir", str(ckpt_dir),
+                "--checkpoint-every", CHECKPOINT_EVERY]
+    return cmd
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="kill-resume-") as tmp:
+        tmp = pathlib.Path(tmp)
+        clean = tmp / "clean"
+        resumed = tmp / "resumed"
+        ckpts = tmp / "ckpts"
+
+        print("[1/4] clean run", flush=True)
+        subprocess.run(_cmd(clean), check=True, env=_env())
+
+        print("[2/4] victim run (SIGKILL at first snapshot)", flush=True)
+        victim = subprocess.Popen(_cmd(resumed, ckpts), env=_env())
+        deadline = time.monotonic() + KILL_TIMEOUT_SECONDS
+        try:
+            while not list(ckpts.glob("*.ckpt")):
+                if victim.poll() is not None:
+                    print("victim finished before any snapshot was written; "
+                          "lower --checkpoint-every", file=sys.stderr)
+                    return 1
+                if time.monotonic() > deadline:
+                    print("timed out waiting for a snapshot",
+                          file=sys.stderr)
+                    return 1
+                time.sleep(KILL_POLL_SECONDS)
+        finally:
+            if victim.poll() is None:
+                victim.send_signal(signal.SIGKILL)
+                victim.wait()
+        print(f"      killed pid {victim.pid} with "
+              f"{len(list(ckpts.glob('*.ckpt')))} snapshot(s) on disk",
+              flush=True)
+
+        print("[3/4] resumed run", flush=True)
+        subprocess.run(_cmd(resumed, ckpts), check=True, env=_env())
+
+        runtime = json.loads((resumed / "fig08.runtime.json").read_text())
+        slots = [entry["runtime"].get("cell_resume_slot")
+                 for entry in runtime["runs"]
+                 if isinstance(entry.get("runtime"), dict)]
+        resumed_slots = [s for s in slots if s is not None]
+        if not resumed_slots:
+            print("no cell reported a resume slot — the resumed run "
+                  "recomputed everything from scratch", file=sys.stderr)
+            return 1
+        print(f"      cell(s) resumed from slot(s) {resumed_slots}",
+              flush=True)
+
+        print("[4/4] comparing artifacts", flush=True)
+        status = 0
+        for name in ("fig08.txt", "fig08.json"):
+            a = (clean / name).read_bytes()
+            b = (resumed / name).read_bytes()
+            if a == b:
+                print(f"      {name}: identical ({len(a)} bytes)")
+            else:
+                print(f"      {name}: DIFFERS", file=sys.stderr)
+                status = 1
+        return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

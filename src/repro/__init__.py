@@ -17,14 +17,17 @@ indirectly to their destinations.  This package provides:
 
 Quickstart::
 
-    from repro import SimConfig, Engine
+    from repro import SimConfig, simulate
     from repro.workloads import poisson_workload, ShortFlowDistribution
 
     cfg = SimConfig(n=64, h=2, duration=20_000, congestion_control="hbh+spray")
     wl = poisson_workload(cfg, ShortFlowDistribution(), load=0.2)
-    engine = Engine(cfg, workload=wl)
-    engine.run()
-    print(engine.throughput())
+    result = simulate(cfg, wl, drain=True)
+    print(result.summary)
+
+:func:`simulate` also wires up telemetry, run monitoring, determinism
+digests and checkpoint/resume behind keywords; drop down to
+:class:`~repro.sim.engine.Engine` for full control.
 """
 
 from .core import (
@@ -48,6 +51,7 @@ from .sim import (
     SimConfig,
     TimingModel,
 )
+from .api import RunResult, simulate
 
 __version__ = "1.0.0"
 
@@ -55,6 +59,8 @@ __all__ = [
     "Cell",
     "CoordinateSystem",
     "Engine",
+    "RunResult",
+    "simulate",
     "FlowRecord",
     "HeaderCodec",
     "InterleavedSchedule",

@@ -1,0 +1,148 @@
+"""The one-call quickstart facade: ``simulate(config, workload) -> RunResult``.
+
+The library's power users build :class:`~repro.sim.engine.Engine` objects
+directly — attach observers, drive loops, snapshot mid-run.  Most callers
+just want "run this config on this workload and give me the numbers":
+
+    >>> from repro import SimConfig, simulate
+    >>> from repro.workloads import poisson_workload, ShortFlowDistribution
+    >>> cfg = SimConfig(n=16, h=2, duration=20_000)
+    >>> wl = poisson_workload(cfg, ShortFlowDistribution(), load=0.2)
+    >>> result = simulate(cfg, wl, drain=True)
+    >>> result.summary["cells_delivered"] > 0
+    True
+
+``simulate`` wires up the common observers behind keywords (``telemetry=``,
+``monitor=``, ``digest=``) and exposes checkpoint/resume with a single
+``checkpoint=`` path: if the file exists the run resumes from it
+bit-exactly, otherwise the run periodically snapshots into it, and on clean
+completion the file is removed.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional
+
+from .sim.checkpoint import load_checkpoint_or_none, restore_engine
+from .sim.config import SimConfig
+from .sim.engine import Engine, ScheduledFlow
+from .sim.flows import FlowTable
+from .sim.metrics import MetricsCollector
+
+__all__ = ["RunResult", "simulate"]
+
+
+@dataclass
+class RunResult:
+    """What one :func:`simulate` call produced.
+
+    Attributes:
+        config: the configuration the run used.
+        metrics: the engine's aggregate counters and distributions.
+        flows: the flow table (active + completed flows, FCTs).
+        summary: ``metrics.summary()`` — the headline numbers as a dict.
+        telemetry: the attached time-series recorder, when requested.
+        digest: the run's determinism digest value, when requested.
+        resumed_from: the timeslot the run resumed from (None = from 0).
+        engine: the engine itself, for anything not surfaced above.
+    """
+
+    config: SimConfig
+    metrics: MetricsCollector
+    flows: FlowTable
+    summary: Dict[str, float] = field(default_factory=dict)
+    telemetry: Optional[object] = None
+    digest: Optional[int] = None
+    resumed_from: Optional[int] = None
+    engine: Optional[Engine] = None
+
+
+def simulate(
+    config: SimConfig,
+    workload: Optional[Iterable[ScheduledFlow]] = None,
+    *,
+    duration: Optional[int] = None,
+    drain: bool = False,
+    telemetry: Any = None,
+    monitor: Any = None,
+    digest: bool = False,
+    failure_manager=None,
+    checkpoint=None,
+    checkpoint_every: Optional[int] = None,
+) -> RunResult:
+    """Run one simulation end to end and return a :class:`RunResult`.
+
+    Args:
+        config: the run's :class:`~repro.sim.config.SimConfig`.
+        workload: scheduled flows to inject (``(t, src, dst, cells)``-style
+            tuples from :mod:`repro.workloads`); None runs an idle network.
+        duration: timeslots to simulate (default: ``config.duration``).
+        drain: also run past the horizon until all admitted flows finish.
+        telemetry: True to attach a fresh
+            :class:`~repro.obs.timeseries.TimeSeriesRecorder`, or an
+            already-built recorder to attach.
+        monitor: True to attach a default
+            :class:`~repro.sim.monitor.RunMonitor`, or a configured one.
+        digest: record a :class:`~repro.sim.digest.DeterminismDigest` and
+            return its value (for bit-exactness comparisons).
+        failure_manager: a :class:`~repro.failures.FailureManager` to
+            apply (ignored when resuming — the restored state carries it).
+        checkpoint: a file path enabling checkpoint/resume: resume from it
+            when it exists, periodically snapshot into it while running,
+            remove it on clean completion.
+        checkpoint_every: snapshot interval in timeslots (default 100000;
+            only meaningful with ``checkpoint``).
+
+    Returns:
+        A :class:`RunResult`; bit-exact whether or not the run was
+        interrupted and resumed through ``checkpoint``.
+    """
+    from .obs.timeseries import TimeSeriesRecorder
+    from .sim.monitor import RunMonitor
+
+    resumed_from = None
+    engine = None
+    if checkpoint is not None:
+        saved = load_checkpoint_or_none(checkpoint)
+        if saved is not None:
+            if saved.config != config:
+                # a stale file from another experiment: start over
+                pathlib.Path(checkpoint).unlink(missing_ok=True)
+            else:
+                engine = restore_engine(saved)
+                resumed_from = engine.t
+    if engine is None:
+        engine = Engine(config, workload=None if workload is None
+                        else list(workload),
+                        failure_manager=failure_manager)
+    if digest:
+        engine.enable_digest()
+    if monitor:
+        (monitor if isinstance(monitor, RunMonitor)
+         else RunMonitor()).attach(engine)
+    recorder = None
+    if telemetry:
+        recorder = (telemetry if isinstance(telemetry, TimeSeriesRecorder)
+                    else TimeSeriesRecorder())
+        recorder.attach(engine)
+    if checkpoint is not None:
+        engine.enable_checkpoints(checkpoint, checkpoint_every or 100_000)
+
+    engine.run(duration)
+    if drain:
+        engine.run_until_quiescent()
+
+    if checkpoint is not None:
+        pathlib.Path(checkpoint).unlink(missing_ok=True)
+    return RunResult(
+        config=config,
+        metrics=engine.metrics,
+        flows=engine.flows,
+        summary=engine.metrics.summary(),
+        telemetry=recorder,
+        digest=None if engine.digest is None else engine.digest.value,
+        resumed_from=resumed_from,
+        engine=engine,
+    )

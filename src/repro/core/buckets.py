@@ -121,6 +121,24 @@ class TokenLedger:
             del self._spent[key]
             self._is_first.pop(key, None)
 
+    def state_dict(self) -> Dict[str, object]:
+        """Outstanding charges as plain data (checkpoint encoding)."""
+        return {
+            "spent": sorted(self._spent.items()),
+            "is_first": sorted(self._is_first.items()),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output *in place*.
+
+        The dicts are mutated rather than replaced because the simulator's
+        hot path caches direct references to them.
+        """
+        self._spent.clear()
+        self._spent.update(dict(state["spent"]))
+        self._is_first.clear()
+        self._is_first.update(dict(state["is_first"]))
+
     def outstanding(self) -> int:
         """Total tokens currently spent and awaiting return (diagnostic)."""
         return sum(self._spent.values())
@@ -159,6 +177,19 @@ class ActiveBucketTracker:
             self._refcount.pop(bucket, None)
         else:
             self._refcount[bucket] = count - 1
+
+    def state_dict(self) -> Dict[str, object]:
+        """Reference counts plus high-water mark (checkpoint encoding)."""
+        return {
+            "refcount": sorted(self._refcount.items()),
+            "peak": self.peak,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output in place (dict is aliased)."""
+        self._refcount.clear()
+        self._refcount.update(dict(state["refcount"]))
+        self.peak = state["peak"]
 
     @property
     def active(self) -> int:

@@ -96,6 +96,25 @@ class Cell:
         cell.dummy = True
         return cell
 
+    def state(self) -> Tuple:
+        """All twelve fields as a flat tuple (checkpoint encoding)."""
+        return (
+            self.src, self.dst, self.flow_id, self.seq,
+            self.sprays_remaining, self.prev_hop, self.created_at,
+            self.spray_phase, self.flow_size, self.dummy, self.hops,
+            self.enqueued_at,
+        )
+
+    @classmethod
+    def from_state(cls, state: Tuple) -> "Cell":
+        """Rebuild a cell from :meth:`state` without re-running ``__init__``."""
+        cell = cls.__new__(cls)
+        (cell.src, cell.dst, cell.flow_id, cell.seq,
+         cell.sprays_remaining, cell.prev_hop, cell.created_at,
+         cell.spray_phase, cell.flow_size, cell.dummy, cell.hops,
+         cell.enqueued_at) = state
+        return cell
+
     def bucket(self) -> Tuple[int, int]:
         """The (destination, remaining-sprays) bucket this cell occupies."""
         return (self.dst, self.sprays_remaining)

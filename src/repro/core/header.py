@@ -71,6 +71,14 @@ class Token:
     def bucket(self) -> Tuple[int, int]:
         return (self.dest, self.sprays)
 
+    def state(self) -> Tuple[int, int, int]:
+        """``(dest, sprays, kind)`` — checkpoint encoding."""
+        return (self.dest, self.sprays, self.kind)
+
+    @classmethod
+    def from_state(cls, state: Tuple[int, int, int]) -> "Token":
+        return cls(*state)
+
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Token)

@@ -21,7 +21,7 @@ from ..analysis.theory import (
     feasible_h_values,
     throughput_guarantee,
 )
-from .common import format_table
+from .common import experiment_entrypoint, format_table
 
 __all__ = ["Fig01Result", "run", "report"]
 
@@ -48,7 +48,8 @@ def _point(n: int, slot_ns: float, h: int) -> TradeoffPoint:
     )
 
 
-def run(n: int = 100_000, slot_ns: float = 5.632,
+@experiment_entrypoint
+def run(*, n: int = 100_000, slot_ns: float = 5.632,
         max_h: Optional[int] = None, workers: int = 1) -> Fig01Result:
     """Regenerate the Fig. 1 curve (paper scale by default — it is cheap)."""
     from ..sim.parallel import sweep

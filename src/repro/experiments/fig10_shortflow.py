@@ -23,7 +23,7 @@ from ..analysis.fct import fct_table
 from ..congestion.mechanisms import EVALUATION_ORDER
 from ..sim.config import SimConfig
 from ..workloads.distributions import bucket_label
-from .common import format_table, load_for, run_cc_experiment, workload_for
+from .common import experiment_entrypoint, format_table, load_for, run_cc_experiment, workload_for
 
 __all__ = ["CcResult", "CcCell", "run", "report"]
 
@@ -97,7 +97,9 @@ def _run_cell(
     )
 
 
+@experiment_entrypoint
 def run(
+    *,
     n: int = 16,
     h_values: Sequence[int] = (2, 4),
     mechanisms: Sequence[str] = EVALUATION_ORDER,

@@ -14,12 +14,15 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..congestion.mechanisms import EVALUATION_ORDER
+from .common import experiment_entrypoint
 from .fig10_shortflow import CcResult, report as _report, run as _run
 
 __all__ = ["run", "report"]
 
 
+@experiment_entrypoint
 def run(
+    *,
     n: int = 16,
     h_values: Sequence[int] = (2, 4),
     mechanisms: Sequence[str] = EVALUATION_ORDER,

@@ -29,7 +29,7 @@ from ..sim.config import SimConfig
 from ..sim.engine import Engine
 from ..sim.monitor import RunMonitor
 from ..workloads.generators import overlaid_permutations_workload
-from .common import format_table
+from .common import experiment_entrypoint, format_table
 
 __all__ = ["Fig12Result", "Fig12Row", "run", "report"]
 
@@ -121,7 +121,9 @@ def _run_cell(
     )
 
 
+@experiment_entrypoint
 def run(
+    *,
     n: int = 81,
     h_values: Sequence[int] = (2, 4),
     failed_fractions: Sequence[float] = (0.0, 0.02, 0.04, 0.06, 0.08),

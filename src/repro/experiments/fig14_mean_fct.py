@@ -12,7 +12,7 @@ from typing import List, Optional, Sequence
 
 from ..congestion.mechanisms import EVALUATION_ORDER
 from ..workloads.distributions import bucket_label
-from .common import format_table
+from .common import experiment_entrypoint, format_table
 from .fig10_shortflow import CcResult
 from .fig10_shortflow import run as _run_shortflow
 from .fig11_heavytail import run as _run_heavytail
@@ -20,7 +20,9 @@ from .fig11_heavytail import run as _run_heavytail
 __all__ = ["run", "report"]
 
 
+@experiment_entrypoint
 def run(
+    *,
     workload_name: str = "short-flow",
     n: int = 16,
     h_values: Sequence[int] = (2, 4),

@@ -11,14 +11,16 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..congestion.mechanisms import EVALUATION_ORDER
-from .common import format_table
+from .common import experiment_entrypoint, format_table
 from .fig10_shortflow import CcResult
 from .fig14_mean_fct import run as _run
 
 __all__ = ["run", "report"]
 
 
+@experiment_entrypoint
 def run(
+    *,
     workload_name: str = "short-flow",
     n: int = 16,
     h_values: Sequence[int] = (2, 4),

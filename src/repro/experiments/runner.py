@@ -33,6 +33,14 @@ content-addressed cell cache (:mod:`repro.sim.cellcache`): grid cells
 already computed with identical code + configuration are restored instead
 of re-simulated, and per-experiment hit/miss counts are reported.
 
+``--checkpoint-dir DIR`` (with ``--checkpoint-every N``, default 100000
+timeslots) installs a :class:`~repro.sim.checkpoint.CheckpointPolicy`:
+every sweep cell periodically snapshots its engines into DIR, a cell that
+dies (crash, OOM, SIGKILL) resumes from its last snapshot instead of
+recomputing from slot 0, and the snapshots are removed when a cell
+completes cleanly.  Resumed results are bit-identical to uninterrupted
+runs.
+
 A failing experiment no longer aborts an ``all`` sweep: the failure is
 reported, the remaining experiments still run, and the exit status is
 non-zero.
@@ -131,9 +139,16 @@ def _write_telemetry(directory: pathlib.Path, name: str, result: Any,
     """
     from ..obs.events import encode_event
     from ..obs.serialize import canonical_json, to_jsonable
+    from .common import ExperimentResult
 
     runs, runtimes, events = capture.collect_bundle()
     directory.mkdir(parents=True, exist_ok=True)
+    run_runtime = None
+    if isinstance(result, ExperimentResult):
+        # deterministic payload and volatile runtime travel to different
+        # files, so <name>.json stays byte-identical across (resumed) runs
+        run_runtime = to_jsonable(result.runtime)
+        result = result.payload
     payload = {
         "schema": 1,
         "experiment": name,
@@ -143,7 +158,8 @@ def _write_telemetry(directory: pathlib.Path, name: str, result: Any,
     }
     (directory / f"{name}.json").write_text(canonical_json(payload) + "\n")
     (directory / f"{name}.runtime.json").write_text(
-        canonical_json({"experiment": name, "runs": runtimes}) + "\n"
+        canonical_json({"experiment": name, "runs": runtimes,
+                        "experiment_runtime": run_runtime}) + "\n"
     )
     with (directory / f"{name}.events.jsonl").open("w") as fh:
         for record in events:
@@ -202,6 +218,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="content-addressed cell cache directory (default: the "
              "REPRO_CACHE environment variable, if set)",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="periodically snapshot every sweep cell's engines into DIR "
+             "and resume interrupted cells from their last snapshot "
+             "(bit-identical to an uninterrupted run)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help="timeslots between snapshots (default: %(default)s; "
+             "only meaningful with --checkpoint-dir)",
+    )
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
@@ -241,6 +274,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache = CellCache(cache_dir)
         previous_cache = set_default_cache(cache)
 
+    policy = None
+    previous_policy = None
+    if args.checkpoint_dir is not None:
+        from ..sim.checkpoint import CheckpointPolicy, set_default_policy
+
+        policy = CheckpointPolicy(args.checkpoint_dir,
+                                  every=args.checkpoint_every)
+        previous_policy = set_default_policy(policy)
+
     try:
         return _run_all(names, overrides, workers, cache, args)
     finally:
@@ -248,6 +290,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             from ..sim.cellcache import set_default_cache
 
             set_default_cache(previous_cache)
+        if policy is not None:
+            from ..sim.checkpoint import set_default_policy
+
+            set_default_policy(previous_policy)
 
 
 def _run_all(names: List[str], overrides: Dict[str, Any], workers: int,

@@ -97,6 +97,22 @@ class LinkFailureEvent:
         return f"LinkFailureEvent({verb} link {self.a}{arrow}{self.b} @ {self.t})"
 
 
+def _encode_event(event) -> tuple:
+    """A fail/recover event as a plain tuple (checkpoint encoding)."""
+    if isinstance(event, LinkFailureEvent):
+        return ("link", event.t, event.a, event.b, event.failed,
+                event.bidirectional)
+    return ("node", event.t, event.node, event.failed)
+
+
+def _decode_event(state) -> object:
+    kind = state[0]
+    if kind == "link":
+        return LinkFailureEvent(state[1], state[2], state[3],
+                                failed=state[4], bidirectional=state[5])
+    return FailureEvent(state[1], state[2], failed=state[3])
+
+
 class FailureManager:
     """Injects failures into an engine and runs the detection/invalidation
     protocol.
@@ -177,6 +193,78 @@ class FailureManager:
             self._fail_link(engine, a, b, 0, bidirectional=True)
         for node_id in sorted(self.initial_failed):
             self._fail_node(engine, node_id, 0)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint support
+
+    def state_dict(self) -> dict:
+        """Constructor parameters plus all protocol state (checkpointing)."""
+        return {
+            "params": {
+                "failed_nodes": sorted(self.initial_failed),
+                "failed_links": list(self.initial_failed_links),
+                "detection_epochs": self.detection_epochs,
+                "propagate": self.propagate,
+                "cell_loss_rate": self.cell_loss_rate,
+                "loss_seed": self._loss_seed,
+            },
+            "events": [_encode_event(e) for e in self.events],
+            "next_event": self._next_event,
+            "silence": sorted(self._silence.items()),
+            "agenda": sorted(self._agenda),
+            "agenda_seq": self._agenda_seq,
+            "detections": list(self.detections),
+            "deaf_notices": list(self.deaf_notices),
+            "undetects": list(self.undetects),
+            "event_log": [dict(entry, target=list(entry["target"]))
+                          for entry in self.event_log],
+            "loss_rng": (None if self._loss_rng is None
+                         else self._loss_rng.getstate()),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FailureManager":
+        """Rebuild a manager from the constructor-parameter portion of
+        :meth:`state_dict`; :meth:`load_state` restores the runtime state."""
+        params = state["params"]
+        return cls(
+            failed_nodes=params["failed_nodes"],
+            events=[_decode_event(e) for e in state["events"]],
+            detection_epochs=params["detection_epochs"],
+            propagate=params["propagate"],
+            failed_links=[tuple(link) for link in params["failed_links"]],
+            cell_loss_rate=params["cell_loss_rate"],
+            loss_seed=params["loss_seed"],
+        )
+
+    def load_state(self, engine, state: dict) -> None:
+        """Restore mid-run protocol state captured by :meth:`state_dict`.
+
+        Node-side failure markings (``failed``/``failed_neighbors``/...) and
+        ``engine.failed_links`` live in the node/engine checkpoints; callers
+        restore those first, then this method re-aligns the manager.
+        """
+        self._engine = engine
+        self.events = [_decode_event(e) for e in state["events"]]
+        self._next_event = state["next_event"]
+        self._silence.clear()
+        self._silence.update(
+            {tuple(key): start for key, start in state["silence"]}
+        )
+        self._agenda[:] = [tuple(entry) for entry in state["agenda"]]
+        heapq.heapify(self._agenda)
+        self._agenda_seq = state["agenda_seq"]
+        self.detections[:] = [tuple(d) for d in state["detections"]]
+        self.deaf_notices[:] = [tuple(d) for d in state["deaf_notices"]]
+        self.undetects[:] = [tuple(d) for d in state["undetects"]]
+        self.event_log[:] = [
+            dict(entry, target=list(entry["target"]))
+            for entry in state["event_log"]
+        ]
+        if state["loss_rng"] is not None:
+            if self._loss_rng is None:
+                self._loss_rng = random.Random()
+            self._loss_rng.setstate(state["loss_rng"])
 
     def advance(self, engine, t: int) -> None:
         """Apply timed events and fire due missed-cell detections."""

@@ -124,7 +124,34 @@ class EventLog:
     def attach(self, engine) -> "EventLog":
         """Install this log on ``engine`` and return it."""
         engine.events = self
+        # adopt event-log state from a restored checkpoint, if the engine
+        # is carrying some and no log was attached when it restored
+        pending = engine._pending_restore
+        if pending and "events" in pending:
+            self.load_state(pending.pop("events"))
         return self
+
+    def state_dict(self) -> dict:
+        """Event count plus any ring-buffered records (checkpoint encoding).
+
+        File and callback sinks have already pushed their events out; only
+        in-memory rings can (and must) be reconstructed on restore.
+        """
+        ring = None
+        for sink in self._sinks:
+            if isinstance(sink, RingSink):
+                ring = [dict(r) for r in sink.records]
+                break
+        return {"count": self.count, "ring": ring}
+
+    def load_state(self, state: dict) -> None:
+        self.count = state["count"]
+        if state["ring"] is not None:
+            for sink in self._sinks:
+                if isinstance(sink, RingSink):
+                    sink._ring.clear()
+                    sink._ring.extend(dict(r) for r in state["ring"])
+                    break
 
     def add_sink(self, sink) -> "EventLog":
         self._sinks.append(sink)

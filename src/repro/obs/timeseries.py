@@ -76,7 +76,24 @@ class TimeSeriesRecorder:
         """Install this recorder on ``engine`` and return it."""
         engine.telemetry = self
         self.resnapshot(engine.metrics)
+        # adopt telemetry state from a restored checkpoint, if the engine
+        # is carrying some and no recorder was attached when it restored
+        pending = engine._pending_restore
+        if pending and "telemetry" in pending:
+            self.load_state(pending.pop("telemetry"))
         return self
+
+    def state_dict(self) -> dict:
+        """Every column plus the delta baseline (checkpoint encoding)."""
+        return {
+            "cols": {name: buf.state() for name, buf in self._cols.items()},
+            "prev": list(self._prev),
+        }
+
+    def load_state(self, state: dict) -> None:
+        for name, buf in self._cols.items():
+            buf.load(state["cols"][name])
+        self._prev = tuple(state["prev"])
 
     def resnapshot(self, metrics) -> None:
         """Re-baseline the delta counters (e.g. at the end of warm-up)."""

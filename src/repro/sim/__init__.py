@@ -1,5 +1,16 @@
 """Packet-level discrete-timeslot simulator for Shale networks."""
 
+from .checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointPolicy,
+    CheckpointWriter,
+    default_policy,
+    load_checkpoint,
+    load_checkpoint_or_none,
+    save_checkpoint,
+    set_default_policy,
+)
 from .config import PAPER_TIMING, SimConfig, TimingModel
 from .engine import Engine, ScheduledFlow
 from .flows import Flow, FlowRecord, FlowTable
@@ -13,9 +24,18 @@ from .reorder import ReorderBuffer, ReorderTracker
 from .trace import CellTrace, CellTracer, TraceError, validate_trace
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointPolicy",
+    "CheckpointWriter",
     "ConservationError",
     "ControlMessage",
     "Engine",
+    "default_policy",
+    "load_checkpoint",
+    "load_checkpoint_or_none",
+    "save_checkpoint",
+    "set_default_policy",
     "RunMonitor",
     "Flow",
     "FlowRecord",

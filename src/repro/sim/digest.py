@@ -88,5 +88,13 @@ class DeterminismDigest:
         """The current hash as a fixed-width hex string."""
         return f"{self.value:016x}"
 
+    def state_dict(self) -> dict:
+        """Running hash and event count (checkpoint encoding)."""
+        return {"value": self.value, "events": self.events}
+
+    def load_state(self, state: dict) -> None:
+        self.value = state["value"]
+        self.events = state["events"]
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"DeterminismDigest({self.hexdigest()}, events={self.events})"

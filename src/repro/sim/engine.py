@@ -130,6 +130,19 @@ class Engine:
         self.digest: Optional[DeterminismDigest] = None
         # ISD bookkeeping: last time each flow's credit was topped up
         self._isd_last: Dict[int, int] = {}
+        #: optional CheckpointWriter (repro.sim.checkpoint); when set the
+        #: run loops dispatch to snapshot-aware twins, so the normal loops
+        #: pay nothing for the feature (same pattern as the profiler)
+        self._checkpointer = None
+        #: loop marker restored from a checkpoint: ``(ordinal, end)`` of the
+        #: run/drain loop the snapshot was taken inside (None otherwise)
+        self._resume: Optional[Tuple[int, int]] = None
+        #: run/drain loops entered so far; a checkpoint records the ordinal
+        #: so resume can fast-forward loops that completed before it
+        self._loops_entered = 0
+        #: observer state from a restored checkpoint, waiting for a
+        #: monitor/recorder/event log to be attached and absorb it
+        self._pending_restore: Optional[Dict[str, object]] = None
         if _construction_hooks:
             for hook in _construction_hooks:
                 hook(self)
@@ -150,9 +163,12 @@ class Engine:
         """Attach (and return) a fresh event digest for equivalence tests.
 
         The digest is a pure observer: enabling it never changes simulated
-        behavior, only records it.
+        behavior, only records it.  Idempotent: a digest that already exists
+        (e.g. restored from a checkpoint) is kept, so resumed runs keep
+        accumulating the same event stream.
         """
-        self.digest = DeterminismDigest()
+        if self.digest is None:
+            self.digest = DeterminismDigest()
         return self.digest
 
     # ------------------------------------------------------------------ #
@@ -191,9 +207,18 @@ class Engine:
     def run(self, duration: Optional[int] = None) -> MetricsCollector:
         """Run for ``duration`` timeslots (default: ``config.duration``)."""
         end = self.t + (duration if duration is not None else self.config.duration)
+        ordinal = self._loops_entered
+        self._loops_entered = ordinal + 1
+        if self._resume is not None:
+            end = self._resume_end(ordinal, end)
+            if end is None:
+                return self.metrics  # loop completed before the snapshot
         step = self.step if self.profiler is None else self._step_profiled
-        while self.t < end:
-            step()
+        if self._checkpointer is not None:
+            self._run_checkpointed(step, end, ordinal)
+        else:
+            while self.t < end:
+                step()
         return self.metrics
 
     def run_until_quiescent(self, max_extra: int = 1_000_000) -> MetricsCollector:
@@ -204,14 +229,100 @@ class Engine:
         waiting for an empty wire would never terminate.
         """
         deadline = self.t + max_extra
+        ordinal = self._loops_entered
+        self._loops_entered = ordinal + 1
+        if self._resume is not None:
+            deadline = self._resume_end(ordinal, deadline)
+            if deadline is None:
+                return self.metrics  # loop completed before the snapshot
         step = self.step if self.profiler is None else self._step_profiled
+        if self._checkpointer is not None:
+            self._drain_checkpointed(step, deadline, ordinal)
+        else:
+            while self.t < deadline and (
+                self._pending_flows
+                or self.flows.active_count
+                or self._in_flight_payload
+            ):
+                step()
+        return self.metrics
+
+    def _resume_end(self, ordinal: int, end: int) -> Optional[int]:
+        """Resolve a run/drain loop entry against a restored loop marker.
+
+        A checkpoint taken inside loop ``k`` (by entry order) means loops
+        ``< k`` already ran to completion before the snapshot — re-entering
+        one is a no-op (returns None).  Loop ``k`` itself adopts the saved
+        absolute end so the resumed run stops exactly where the original
+        would have; later loops run normally.
+        """
+        resume_ordinal, resume_end = self._resume
+        if ordinal < resume_ordinal:
+            return None
+        self._resume = None
+        return resume_end if ordinal == resume_ordinal else end
+
+    def _run_checkpointed(self, step, end: int, ordinal: int) -> None:
+        """The :meth:`run` loop with the periodic snapshot hook.
+
+        Kept out of :meth:`run` so the checkpoint-off loop stays exactly
+        as tight as before the feature existed.
+        """
+        writer = self._checkpointer
+        writer.arm(self.t)
+        while self.t < end:
+            step()
+            if self.t >= writer.due_t:
+                writer.write(self, ordinal, end)
+
+    def _drain_checkpointed(self, step, deadline: int, ordinal: int) -> None:
+        """The :meth:`run_until_quiescent` loop with the snapshot hook."""
+        writer = self._checkpointer
+        writer.arm(self.t)
         while self.t < deadline and (
             self._pending_flows
             or self.flows.active_count
             or self._in_flight_payload
         ):
             step()
-        return self.metrics
+            if self.t >= writer.due_t:
+                writer.write(self, ordinal, deadline)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint/restore (see repro.sim.checkpoint for the format)
+
+    def enable_checkpoints(self, path, every: int) -> None:
+        """Write a snapshot to ``path`` every ``every`` timeslots while a
+        run/drain loop is active (atomic replace; the file always holds the
+        latest complete snapshot)."""
+        from .checkpoint import CheckpointWriter
+
+        self._checkpointer = CheckpointWriter(path, every)
+
+    def snapshot(self) -> "Checkpoint":
+        """Capture the complete mutable simulation state as a
+        :class:`~repro.sim.checkpoint.Checkpoint`."""
+        from .checkpoint import snapshot_engine
+
+        return snapshot_engine(self)
+
+    @classmethod
+    def restore(cls, checkpoint) -> "Engine":
+        """Build a fresh engine resumed from ``checkpoint``.
+
+        The resumed engine replays the remainder of the run bit-exactly:
+        stepping it to the original end time yields the same digest,
+        metrics and flow records as the uninterrupted run.
+        """
+        from .checkpoint import restore_engine
+
+        return restore_engine(checkpoint)
+
+    def _apply_checkpoint(self, checkpoint) -> None:
+        """Overwrite this engine's state with ``checkpoint`` (same config)."""
+        from .checkpoint import apply_checkpoint
+
+        apply_checkpoint(self, checkpoint)
 
     def step(self) -> None:
         """Advance the simulation by one timeslot.

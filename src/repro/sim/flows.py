@@ -88,6 +88,22 @@ class Flow:
             f"{self.delivered}/{self.size_cells} cells)"
         )
 
+    def state(self) -> tuple:
+        """All fields as a flat tuple (checkpoint encoding)."""
+        return (
+            self.flow_id, self.src, self.dst, self.size_cells,
+            self.size_bytes, self.arrival, self.sent, self.delivered,
+            self.completed_at, self.schedule_class, self.credit,
+        )
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "Flow":
+        flow = cls.__new__(cls)
+        (flow.flow_id, flow.src, flow.dst, flow.size_cells,
+         flow.size_bytes, flow.arrival, flow.sent, flow.delivered,
+         flow.completed_at, flow.schedule_class, flow.credit) = state
+        return flow
+
 
 class FlowRecord:
     """Immutable record of a completed flow, for analysis."""
@@ -110,6 +126,21 @@ class FlowRecord:
     def fct(self) -> int:
         """Flow completion time in timeslots."""
         return self.completed_at - self.arrival
+
+    def state(self) -> tuple:
+        """All fields as a flat tuple (checkpoint encoding)."""
+        return (
+            self.flow_id, self.src, self.dst, self.size_cells,
+            self.size_bytes, self.arrival, self.completed_at,
+        )
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "FlowRecord":
+        # bypass __init__, which demands a live completed Flow
+        record = cls.__new__(cls)
+        (record.flow_id, record.src, record.dst, record.size_cells,
+         record.size_bytes, record.arrival, record.completed_at) = state
+        return record
 
     def normalized_fct(self, propagation_delay: int) -> float:
         """Size-normalised FCT (paper Section 5).
@@ -197,3 +228,30 @@ class FlowTable:
     def flows_to(self, dst: int) -> int:
         """Number of active flows destined to ``dst`` (ISD's global view)."""
         return self.incast_degree.get(dst, 0)
+
+    def state_dict(self) -> dict:
+        """The whole registry as plain data (checkpoint encoding)."""
+        return {
+            "active": [flow.state() for flow in self._active.values()],
+            "completed": [record.state() for record in self.completed],
+            "next_id": self._next_id,
+            "incast": sorted(self.incast_degree.items()),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output.
+
+        Active flows are rebuilt as fresh objects in their original
+        registration order; callers holding flow references (node
+        ``local_flows`` lists) must re-resolve them through :meth:`get`.
+        """
+        self._active.clear()
+        for flow_state in state["active"]:
+            flow = Flow.from_state(tuple(flow_state))
+            self._active[flow.flow_id] = flow
+        self.completed[:] = [
+            FlowRecord.from_state(tuple(s)) for s in state["completed"]
+        ]
+        self._next_id = state["next_id"]
+        self.incast_degree.clear()
+        self.incast_degree.update(dict(state["incast"]))

@@ -50,6 +50,21 @@ class _IntBuffer:
     def __len__(self) -> int:
         return self._size
 
+    def state(self) -> list:
+        """The filled prefix as a plain list (checkpoint encoding)."""
+        return self._data[: self._size].tolist()
+
+    def load(self, values: list) -> None:
+        """Replace the buffer contents with ``values``.
+
+        Capacity is at least the default so a restored empty buffer can
+        still grow by doubling (``np.resize(data, 0 * 2)`` would wedge it).
+        """
+        size = len(values)
+        self._data = np.empty(max(1024, size), dtype=np.int64)
+        self._data[:size] = values
+        self._size = size
+
 
 # numpy renamed ``interpolation=`` to ``method=`` in 1.22; resolve the
 # keyword once at import so the hot reporting path doesn't re-probe
@@ -293,6 +308,46 @@ class MetricsCollector:
         if real <= 0:
             return 0.0
         return self.payload_cells_delivered / real
+
+    #: counters and maxima captured verbatim by checkpoints
+    _SCALAR_FIELDS = (
+        "cells_injected", "cells_delivered", "payload_cells_delivered",
+        "cells_sent", "dummy_cells_sent", "cells_dropped", "wire_losses",
+        "cells_trimmed", "retransmissions", "tokens_sent",
+        "control_messages", "max_queue_length", "max_buffer_occupancy",
+        "max_active_buckets", "max_pieo_length",
+    )
+
+    def state_dict(self) -> dict:
+        """Every mutable statistic as plain data (checkpoint encoding)."""
+        return {
+            "scalars": {name: getattr(self, name)
+                        for name in self._SCALAR_FIELDS},
+            "buffer_samples": self._buffer_samples.state(),
+            "queue_samples": self._queue_samples.state(),
+            "cell_latencies": list(self.cell_latencies),
+            "throughput_series": list(self.throughput_series),
+            "window_delivered": self._window_delivered,
+            "measuring": self._measuring,
+            "delivered_per_node": sorted(self.delivered_per_node.items()),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output *in place*.
+
+        The collector object is aliased by the engine and every node, so
+        its containers are mutated rather than replaced.
+        """
+        for name, value in state["scalars"].items():
+            setattr(self, name, value)
+        self._buffer_samples.load(state["buffer_samples"])
+        self._queue_samples.load(state["queue_samples"])
+        self.cell_latencies[:] = state["cell_latencies"]
+        self.throughput_series[:] = state["throughput_series"]
+        self._window_delivered = state["window_delivered"]
+        self._measuring = state["measuring"]
+        self.delivered_per_node.clear()
+        self.delivered_per_node.update(dict(state["delivered_per_node"]))
 
     def summary(self) -> Dict[str, float]:
         """A flat dictionary of headline statistics."""

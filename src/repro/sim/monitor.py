@@ -71,7 +71,33 @@ class RunMonitor:
             or engine.config.metrics_sample_interval
         self._stall_slots = self.stall_window_epochs * engine.schedule.epoch_length
         self._last_progress_t = engine.t
+        # a restored engine may carry monitor state from its checkpoint,
+        # waiting for a monitor to be attached
+        pending = engine._pending_restore
+        if pending and "monitor" in pending:
+            self.load_state(pending.pop("monitor"))
         return self
+
+    def state_dict(self) -> dict:
+        """Counters and progress markers (checkpoint encoding)."""
+        return {
+            "checks": self.checks,
+            "violations": [dict(v) for v in self.violations],
+            "stalls": [dict(s) for s in self.stalls],
+            "last_progress": self._last_progress,
+            "last_progress_t": self._last_progress_t,
+            "sent_at_progress": self._sent_at_progress,
+            "stalled": self._stalled,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.checks = state["checks"]
+        self.violations[:] = [dict(v) for v in state["violations"]]
+        self.stalls[:] = [dict(s) for s in state["stalls"]]
+        self._last_progress = state["last_progress"]
+        self._last_progress_t = state["last_progress_t"]
+        self._sent_at_progress = state["sent_at_progress"]
+        self._stalled = state["stalled"]
 
     # ------------------------------------------------------------------ #
     # per-step hook (called by Engine.step)

@@ -62,6 +62,17 @@ class ControlMessage:
     def __repr__(self) -> str:  # pragma: no cover
         return f"Ctrl({self.kind}, flow={self.flow_id}, {self.src}->{self.dst})"
 
+    def state(self) -> tuple:
+        """All fields as a flat tuple (checkpoint encoding)."""
+        return (self.kind, self.flow_id, self.src, self.dst, self.seq,
+                self.sprays_remaining)
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "ControlMessage":
+        msg = cls(state[0], state[1], state[2], state[3], state[4])
+        msg.sprays_remaining = state[5]
+        return msg
+
 
 class Transmission:
     """Everything sent over one link in one timeslot: a cell plus header
@@ -85,6 +96,28 @@ class Transmission:
         #: wire delivery time, stamped by the engine when the transmission
         #: enters the in-flight queue (so the wire needs no wrapper tuples)
         self.arrival = -1
+
+    def state(self) -> tuple:
+        """All fields as plain data (checkpoint encoding)."""
+        return (
+            self.sender, self.receiver,
+            None if self.cell is None else self.cell.state(),
+            tuple(token.state() for token in self.tokens),
+            tuple(msg.state() for msg in self.ctrl),
+            self.arrival,
+        )
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "Transmission":
+        sender, receiver, cell, tokens, ctrl, arrival = state
+        tx = cls(
+            sender, receiver,
+            None if cell is None else Cell.from_state(cell),
+            tuple(Token.from_state(t) for t in tokens),
+            tuple(ControlMessage.from_state(m) for m in ctrl),
+        )
+        tx.arrival = arrival
+        return tx
 
 
 class Node:
@@ -1240,6 +1273,89 @@ class Node:
             self._cache_hbh_state()
         # the node may resume sending its surviving local flows immediately
         self._active.add(self.node_id)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint support
+
+    def state_dict(self) -> dict:
+        """This node's authoritative state as plain data.
+
+        Hot-path caches (the slots below the marker in ``__slots__``) are
+        derived and rebuilt by construction; only the authoritative state
+        is captured.  ``local_flows`` stores flow ids — the Flow objects
+        belong to the engine's :class:`~repro.sim.flows.FlowTable` and are
+        re-resolved on restore so aliasing is preserved.
+        """
+        return {
+            "queues": [q.state_dict(encode=Cell.state)
+                       for q in self.link_queues],
+            "token_return": sorted(
+                (nb, [token.state() for token in dq])
+                for nb, dq in self.token_return.items()
+            ),
+            "ledger": (None if self.ledger is None
+                       else self.ledger.state_dict()),
+            "tracker": (None if self.bucket_tracker is None
+                        else self.bucket_tracker.state_dict()),
+            "local_flows": [flow.flow_id for flow in self.local_flows],
+            "rtx_queue": list(self.rtx_queue),
+            "ctrl_out": [[msg.state() for msg in dq] for dq in self.ctrl_out],
+            "total_enqueued": self.total_enqueued,
+            "pending_tokens": self.pending_tokens,
+            "pending_ctrl": self.pending_ctrl,
+            "failed": self.failed,
+            "failed_neighbors": sorted(self.failed_neighbors),
+            "known_failed": sorted(self.known_failed),
+            "link_invalid": sorted(self.link_invalid),
+            "fail_cause": sorted(self._fail_cause.items()),
+            "force_dummy": sorted(self._force_dummy),
+            "recv_counts": sorted(self._recv_counts.items()),
+        }
+
+    def load_state(self, state: dict, flow_lookup) -> None:
+        """Restore :meth:`state_dict` output onto a freshly built node.
+
+        Containers are refilled in place wherever the hot path aliases them
+        (queue backing lists, ledger/tracker dicts); ``flow_lookup`` maps a
+        flow id back to the engine's live Flow object.
+        """
+        for queue, queue_state in zip(self.link_queues, state["queues"]):
+            queue.load_state(queue_state, decode=Cell.from_state)
+        self.token_return.clear()
+        for nb, tokens in state["token_return"]:
+            self.token_return[nb] = deque(
+                Token.from_state(t) for t in tokens
+            )
+        if self.ledger is not None and state["ledger"] is not None:
+            self.ledger.load_state(state["ledger"])
+        if self.bucket_tracker is not None and state["tracker"] is not None:
+            self.bucket_tracker.load_state(state["tracker"])
+        self._cache_hbh_state()
+        self.local_flows[:] = [
+            flow for flow in (flow_lookup(fid) for fid in state["local_flows"])
+            if flow is not None
+        ]
+        self.rtx_queue.clear()
+        self.rtx_queue.extend(tuple(item) for item in state["rtx_queue"])
+        for dq, messages in zip(self.ctrl_out, state["ctrl_out"]):
+            dq.clear()
+            dq.extend(ControlMessage.from_state(m) for m in messages)
+        self.total_enqueued = state["total_enqueued"]
+        self.pending_tokens = state["pending_tokens"]
+        self.pending_ctrl = state["pending_ctrl"]
+        self.failed = state["failed"]
+        self.failed_neighbors.clear()
+        self.failed_neighbors.update(state["failed_neighbors"])
+        self.known_failed.clear()
+        self.known_failed.update(state["known_failed"])
+        self.link_invalid.clear()
+        self.link_invalid.update(tuple(k) for k in state["link_invalid"])
+        self._fail_cause.clear()
+        self._fail_cause.update(dict(state["fail_cause"]))
+        self._force_dummy.clear()
+        self._force_dummy.update(state["force_dummy"])
+        self._recv_counts.clear()
+        self._recv_counts.update(dict(state["recv_counts"]))
 
     # ------------------------------------------------------------------ #
     # metrics

@@ -82,9 +82,14 @@ class CellOutcome:
         wall: the cell's compute wall-clock seconds (a cache hit keeps
             the wall of the run that originally computed it).
         cached: whether the outcome was restored from the cell cache.
+        retried: whether this outcome came from the sequential crash-retry
+            after the cell died in a worker.
+        resume_slot: the timeslot the cell's engine resumed from when an
+            ambient checkpoint policy found a snapshot (None = from 0).
     """
 
-    __slots__ = ("value", "digests", "wall", "cached")
+    __slots__ = ("value", "digests", "wall", "cached", "retried",
+                 "resume_slot")
 
     def __init__(self, value: Any, digests: Tuple[str, ...] = (),
                  wall: float = 0.0, cached: bool = False):
@@ -92,6 +97,8 @@ class CellOutcome:
         self.digests = digests
         self.wall = wall
         self.cached = cached
+        self.retried = False
+        self.resume_slot: Optional[int] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (f"CellOutcome(wall={self.wall:.3f}s, cached={self.cached}, "
@@ -144,6 +151,7 @@ def _invoke(fn: Callable, kwargs: Dict[str, Any],
     and digest behavior cannot diverge between dispatch modes.
     """
     from ..obs import capture as _capture
+    from . import checkpoint as _checkpoint
 
     started = time.perf_counter()
     digests: List[str] = []
@@ -160,12 +168,25 @@ def _invoke(fn: Callable, kwargs: Dict[str, Any],
             cell_capture = stack.enter_context(_capture.TelemetryCapture())
         if want_digest:
             stack.enter_context(_digest_hooks(digests))
+        # the checkpoint scope must be entered LAST so its construction
+        # hook runs after capture/digest hooks: a restored engine's
+        # observer state then lands on observers that are already attached
+        scope = None
+        policy = _checkpoint.default_policy()
+        if policy is not None:
+            key = policy.key_for(fn, kwargs)
+            scope = stack.enter_context(policy.cell_scope(key))
         result = fn(**kwargs)
+        if scope is not None:
+            scope.discard()  # clean completion: snapshots no longer needed
     if cell_capture is not None:
         runs, runtimes, events = cell_capture.collect_bundle()
         result = _capture.SweepTelemetry(result, runs, runtimes, events)
-    return CellOutcome(result, tuple(digests),
-                       time.perf_counter() - started)
+    outcome = CellOutcome(result, tuple(digests),
+                          time.perf_counter() - started)
+    if scope is not None:
+        outcome.resume_slot = scope.resume_slot
+    return outcome
 
 
 def _invoke_payload(payload):
@@ -301,9 +322,18 @@ def sweep_cells(
             run_sequential([i for i in pending if outcomes[i] is None])
             failed = []
         # crash isolation: one sequential retry per failed cell; a second
-        # failure propagates like any sequential error would
-        for i in failed:
-            outcomes[i] = _invoke(fn, cells[i], want_digest)
+        # failure propagates like any sequential error would.  With an
+        # ambient checkpoint policy the retry resumes from the dead
+        # worker's last snapshot instead of recomputing from slot 0.
+        for count, i in enumerate(failed, 1):
+            out = _invoke(fn, cells[i], want_digest)
+            out.retried = True
+            outcomes[i] = out
+            origin = ("from scratch" if out.resume_slot is None
+                      else f"resumed from slot {out.resume_slot}")
+            _log(f"[sweep {label}] cell {i + 1}/{len(cells)} retried "
+                 f"({origin}) in {out.wall:.1f}s "
+                 f"({count}/{len(failed)} retries)")
     if cache is not None:
         for i in pending:
             out = outcomes[i]
@@ -333,6 +363,10 @@ def _finalize(outcomes: List[CellOutcome]) -> List[Any]:
                     if isinstance(runtime, dict):
                         runtime["cell_wall_seconds"] = out.wall
                         runtime["cell_cached"] = out.cached
+                        runtime["cell_retried"] = getattr(
+                            out, "retried", False)
+                        runtime["cell_resume_slot"] = getattr(
+                            out, "resume_slot", None)
                 active.merge(value)
             values.append(value.result)
         else:

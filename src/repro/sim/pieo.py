@@ -185,3 +185,41 @@ class PieoQueue(Generic[T]):
     def clear(self) -> None:
         """Drop every element."""
         self._items.clear()
+
+    def state_dict(
+        self, encode: Optional[Callable[[T], object]] = None
+    ) -> dict:
+        """Queue contents as plain data (checkpoint encoding).
+
+        ``encode`` converts each stored element; identity when omitted.
+        """
+        if self.fifo:
+            items = ([encode(e) for e in self._items] if encode
+                     else list(self._items))
+        else:
+            items = ([(rank, seq, encode(e)) for rank, seq, e in self._items]
+                     if encode else list(self._items))
+        return {
+            "items": items,
+            "seq": self._seq,
+            "peak": self.peak_occupancy,
+        }
+
+    def load_state(
+        self, state: dict, decode: Optional[Callable[[object], T]] = None
+    ) -> None:
+        """Restore :meth:`state_dict` output.
+
+        The element list is refilled in place — its identity is part of the
+        queue's contract (hot paths hold direct references to it).
+        """
+        if self.fifo:
+            entries = ([decode(e) for e in state["items"]] if decode
+                       else list(state["items"]))
+        else:
+            entries = ([(rank, seq, decode(e))
+                        for rank, seq, e in state["items"]]
+                       if decode else [tuple(e) for e in state["items"]])
+        self._items[:] = entries
+        self._seq = state["seq"]
+        self.peak_occupancy = state["peak"]

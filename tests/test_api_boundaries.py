@@ -1,0 +1,132 @@
+"""The stabilized public API: ``__all__`` snapshots + boundary lint.
+
+Two guards in one file:
+
+* the cross-package private-access checker
+  (``scripts/check_private_access.py``) must pass with the committed
+  allowlist — new ``obj._private`` reaches across ``repro.*`` package
+  boundaries are an API-review decision, not a drive-by;
+* the ``__all__`` of every public package is pinned verbatim.  Removing or
+  renaming an export is a breaking change and must update this snapshot
+  deliberately (adding is also deliberate — the snapshot is exact).
+"""
+
+import importlib
+import inspect
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_no_cross_package_private_access():
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" /
+                             "check_private_access.py")],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, f"boundary lint failed:\n{proc.stdout}"
+
+
+EXPECTED_ALL = {
+    "repro": [
+        "Cell", "CoordinateSystem", "Engine", "RunResult", "simulate",
+        "FlowRecord", "HeaderCodec", "InterleavedSchedule",
+        "MetricsCollector", "MultiClassSimulation", "PieoQueue", "Router",
+        "Schedule", "SimConfig", "TimingModel", "Token", "TokenLedger",
+        "srrd_schedule", "two_class_interleave", "__version__",
+    ],
+    "repro.api": ["RunResult", "simulate"],
+    "repro.sim": [
+        "Checkpoint", "CheckpointError", "CheckpointPolicy",
+        "CheckpointWriter", "ConservationError", "ControlMessage", "Engine",
+        "default_policy", "load_checkpoint", "load_checkpoint_or_none",
+        "save_checkpoint", "set_default_policy", "RunMonitor", "Flow",
+        "FlowRecord", "FlowTable", "MetricsCollector",
+        "MultiClassSimulation", "Node", "PAPER_TIMING", "PieoQueue",
+        "CellTrace", "CellTracer", "TraceError", "validate_trace",
+        "ScheduledFlow", "SimConfig", "TimingModel", "Transmission",
+        "percentile", "ReorderBuffer", "ReorderTracker", "default_workers",
+        "sweep",
+    ],
+    "repro.core": [
+        "ActiveBucketTracker", "BucketId", "CELL_SIZE_BYTES", "Cell",
+        "CoordinateSystem", "DemandAwareSchedule", "HEADER_SIZE_BYTES",
+        "HeaderCodec", "InterleavedSchedule", "LaneSchedule",
+        "PAYLOAD_SIZE_BYTES", "Router", "Schedule", "SlotInfo",
+        "SubScheduleSpec", "TOKEN_INVALIDATE", "TOKEN_REGULAR",
+        "TOKEN_REVALIDATE", "Token", "TokenLedger", "ValidationError",
+        "audit", "bvn_decomposition", "direct_semi_path", "integer_root",
+        "is_perfect_power", "optimal_latency_share", "service_fraction",
+        "spray_semi_path_lengths", "srrd_schedule", "validate_bucket_order",
+        "validate_routing_reachability", "validate_schedule",
+        "two_class_interleave",
+    ],
+    "repro.workloads": [
+        "FLOW_SIZE_BUCKETS", "EmpiricalCdf", "FixedSizeDistribution",
+        "FlowSizeDistribution", "HeavyTailedDistribution",
+        "ShortFlowDistribution", "UniformSizeDistribution",
+        "all_to_all_workload", "bucket_label", "bucket_of",
+        "bytes_to_cells", "incast_workload",
+        "overlaid_permutations_workload", "permutation_workload",
+        "poisson_workload", "single_flow_workload", "read_workload",
+        "workload_from_string", "workload_stats", "workload_to_string",
+        "write_workload",
+    ],
+    "repro.obs": [
+        "CallbackSink", "EventLog", "FileSink", "RingSink", "StepProfiler",
+        "TelemetryCapture", "TimeSeriesRecorder", "canonical_json",
+        "current_capture", "encode_event", "run_manifest", "to_jsonable",
+    ],
+    "repro.failures": [
+        "DirectPathTree", "FailureEvent", "FailureManager", "FaultInjector",
+        "LinkFailureEvent", "direct_next_hop", "invalidated_destinations",
+    ],
+}
+
+
+@pytest.mark.parametrize("package", sorted(EXPECTED_ALL))
+def test_public_api_snapshot(package):
+    module = importlib.import_module(package)
+    assert sorted(module.__all__) == sorted(EXPECTED_ALL[package]), (
+        f"{package}.__all__ changed — update the snapshot deliberately"
+    )
+
+
+@pytest.mark.parametrize("package", sorted(EXPECTED_ALL))
+def test_all_names_importable(package):
+    module = importlib.import_module(package)
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} not importable"
+
+
+UNIFORM_TAIL = ("workers", "cache", "telemetry", "seed",
+                "checkpoint_dir", "checkpoint_every")
+
+
+def test_every_experiment_has_uniform_tail():
+    """Satellite of the API redesign: one signature for every run()."""
+    from repro.experiments import ALL_EXPERIMENTS
+
+    for name, module in sorted(ALL_EXPERIMENTS.items()):
+        sig = inspect.signature(module.run)
+        for param in UNIFORM_TAIL:
+            assert param in sig.parameters, (name, param)
+            assert (sig.parameters[param].kind
+                    is inspect.Parameter.KEYWORD_ONLY), (name, param)
+        # and everything else is keyword-only too
+        for param in sig.parameters.values():
+            assert param.kind is inspect.Parameter.KEYWORD_ONLY, (
+                name, param.name)
+
+
+def test_positional_calls_warn_but_work():
+    from repro.experiments import fig01_tradeoff
+
+    with pytest.warns(DeprecationWarning):
+        result = fig01_tradeoff.run(1024)
+    assert result.payload.n == 1024
+    assert result.name == "fig01_tradeoff"
