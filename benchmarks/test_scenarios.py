@@ -1,0 +1,31 @@
+"""Bench: resilience scorecards over the scenario matrix (DESIGN.md §9)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import scenarios
+
+
+def test_scenarios_scorecard(benchmark):
+    result = run_once(
+        benchmark, scenarios.run,
+        n=16, h=2, duration=3000, flow_cells=60, seed=0,
+    )
+    save_report('scenarios', scenarios.report(result))
+    card = result.scorecard
+    mechanisms = card["mechanisms"]
+    benchmark.extra_info["best_mechanism"] = card["ranking"][0]
+    for mech, agg in sorted(mechanisms.items()):
+        benchmark.extra_info[f"{mech}_score"] = agg["score"]
+        # cell conservation must hold in every cell of every column:
+        # correlated faults and adversarial load never leak cells
+        assert agg["conserved_cells"] == agg["cells"]
+        assert 0.0 <= agg["min_score"] <= agg["score"] <= 100.0
+        # the control column is the easiest one for every mechanism
+        per_pattern = agg["per_pattern"]
+        assert per_pattern["baseline"] >= max(
+            v for k, v in per_pattern.items() if k != "baseline")
+    # a full grid: every pattern x workload x mechanism cell is present
+    grid = card["grid"]
+    assert len(card["cells"]) == (len(grid["patterns"])
+                                  * len(grid["workloads"])
+                                  * len(grid["mechanisms"]))

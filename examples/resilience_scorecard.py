@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Scoring congestion-control mechanisms under correlated failures.
+
+Fig 12 measures throughput when nodes fail *independently*.  Real outages
+are correlated — a rack loses power, a lossy transceiver grays out a link
+without ever going dark, one crash cascades into its neighbourhood — and
+real traffic is adversarial (incast storms, hot destinations).  The
+scenario suite crosses the two taxonomies with every congestion-control
+mechanism and reduces each cell's :class:`~repro.sim.monitor.RunMonitor`
+metrics to a single resilience score:
+
+    score = 100 * (0.50*delivery + 0.20*conservation
+                   + 0.15*stability + 0.15*detection)
+
+This example runs a small sub-grid (2 failure patterns x 2 workload
+shapes x 4 mechanisms = 16 cells), prints the ranked scorecard, and then
+shows the pieces individually: the per-cell seed derivation that makes
+every cell independent of grid order, and a single correlated injector's
+event schedule.
+
+The full matrix is the `scenarios` experiment:
+
+    python -m repro scenarios --seed 0 --workers 4
+
+Run:
+    python examples/resilience_scorecard.py
+"""
+
+from repro.failures import CorrelatedFaultInjector
+from repro.scenarios import (
+    build_scorecard,
+    format_scorecard,
+    run_matrix,
+    scenario_cell_seed,
+)
+from repro.sim import SimConfig
+
+PATTERNS = ("baseline", "cascade")
+WORKLOADS = ("uniform-perms", "incast-storm")
+MECHANISMS = ("none", "hop-by-hop", "hbh+spray", "isd")
+N, H, DURATION, SEED = 16, 2, 2000, 7
+
+
+def main() -> None:
+    # --- the matrix: every pattern x workload x mechanism ----------------
+    cells = run_matrix(
+        list(PATTERNS), list(WORKLOADS), list(MECHANISMS),
+        n=N, h=H, duration=DURATION, flow_cells=40, seed=SEED,
+    )
+    grid = {
+        "patterns": list(PATTERNS), "workloads": list(WORKLOADS),
+        "mechanisms": list(MECHANISMS), "n": N, "h": H,
+        "duration": DURATION, "flow_cells": 40,
+        "propagation_delay": 2, "seed": SEED,
+    }
+    card = build_scorecard(cells, grid)
+    print(f"Resilience scorecard — {len(cells)} cells, seed={SEED}")
+    print(format_scorecard(card))
+    print()
+
+    # --- every cell runs under its own derived seed ----------------------
+    # (crc32 over seed:pattern:workload:mechanism — independent of grid
+    # order, so adding a column never reshuffles existing cells)
+    for mech in MECHANISMS:
+        cell_seed = scenario_cell_seed(SEED, "cascade", "incast-storm", mech)
+        print(f"cell seed for cascade/incast-storm/{mech}: {cell_seed}")
+    print()
+
+    # --- what a correlated injector actually schedules -------------------
+    config = SimConfig(n=N, h=H, duration=DURATION, seed=SEED)
+    injector = CorrelatedFaultInjector.from_config(
+        config,
+        primary_mtbf=DURATION * 4, primary_mttr=DURATION / 8,
+        cascade_probability=0.5,
+    )
+    events = injector.events()
+    print(f"cascade injector scheduled {len(events)} events:")
+    for event in events[:8]:
+        print(f"  {event!r}")
+    if len(events) > 8:
+        print(f"  ... and {len(events) - 8} more")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ from . import (
     fig14_mean_fct,
     fig15_queues,
     fig17_nonincast,
+    scenarios,
 )
 
 #: Registry used by the runner and the benchmark harness.
@@ -38,6 +39,7 @@ ALL_EXPERIMENTS = {
     "fig15": fig15_queues,
     "fig17": fig17_nonincast,
     "appd": appd_token_budget,
+    "scenarios": scenarios,
 }
 
 __all__ = ["ALL_EXPERIMENTS"] + [
@@ -54,4 +56,5 @@ __all__ = ["ALL_EXPERIMENTS"] + [
     "fig14_mean_fct",
     "fig15_queues",
     "fig17_nonincast",
+    "scenarios",
 ]

@@ -28,6 +28,12 @@ experiment and for every experiment of an ``all`` sweep.  Results are
 byte-identical to sequential runs; pass ``--workers 1`` to force
 sequential execution.
 
+``--cell-retries N`` sets the crash-retry budget for sweep cells that die
+inside a pool worker (default 1); each retry runs sequentially in the
+parent after a logged exponential backoff, and the attempt count lands in
+the runtime sidecar.  ``--seed S`` forwards a master seed to every
+experiment (shorthand for ``--set seed=S``).
+
 ``--cache DIR`` (or the ``REPRO_CACHE`` environment variable) installs a
 content-addressed cell cache (:mod:`repro.sim.cellcache`): grid cells
 already computed with identical code + configuration are restored instead
@@ -211,6 +217,23 @@ def main(argv: Optional[List[str]] = None) -> int:
              "(default: one per spare core, capped; 1 = sequential)",
     )
     parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="master seed forwarded to every experiment's run() "
+             "(shorthand for --set seed=S)",
+    )
+    parser.add_argument(
+        "--cell-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="crash-retry budget for sweep cells that die inside a pool "
+             "worker (default: 1; 0 = fail fast); retried attempts are "
+             "logged with backoff and recorded in the runtime sidecar",
+    )
+    parser.add_argument(
         "--cache",
         type=pathlib.Path,
         default=None,
@@ -257,6 +280,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         else [args.experiment]
     )
     overrides = _parse_overrides(args.overrides)
+    if args.seed is not None:
+        overrides.setdefault("seed", args.seed)
+
+    if args.cell_retries is not None:
+        from ..sim.parallel import set_default_cell_retries
+
+        set_default_cell_retries(args.cell_retries)
 
     if args.workers is not None:
         workers = args.workers

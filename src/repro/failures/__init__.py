@@ -5,10 +5,12 @@ from .direct_tree import (
     direct_next_hop,
     invalidated_destinations,
 )
+from .correlated import CorrelatedFaultInjector, rack_outage_events
 from .injector import FaultInjector
 from .manager import FailureEvent, FailureManager, LinkFailureEvent
 
 __all__ = [
+    "CorrelatedFaultInjector",
     "DirectPathTree",
     "FailureEvent",
     "FailureManager",
@@ -16,4 +18,5 @@ __all__ = [
     "LinkFailureEvent",
     "direct_next_hop",
     "invalidated_destinations",
+    "rack_outage_events",
 ]

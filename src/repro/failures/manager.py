@@ -135,6 +135,22 @@ class FailureManager:
             stream derived from ``SimConfig.seed`` unless ``loss_seed`` is
             given, so runs are reproducible.
         loss_seed: optional explicit seed for the wire-loss RNG stream.
+        link_loss_rates: the *gray-failure* wire model — per-directed-link
+            payload loss probabilities, ``{(sender, receiver): rate}``.
+            A gray link is lossy but alive: payload cells vanish at the
+            given rate while headers (tokens, control messages, the
+            liveness observation) still land, so the missed-cell detector
+            never fires — exactly what makes gray failures nasty in
+            production.  A rate of ``1.0`` is not gray but dead and is
+            handled by the link-down machinery (the link is failed at
+            ``apply`` time, so detection fires like any link failure); a
+            rate of ``0.0`` is dropped entirely (no RNG stream is created,
+            keeping the run bit-identical to no entry at all).  Each gray
+            link draws from its own RNG stream derived from ``gray_seed``
+            and its identity, so adding one gray link never reshuffles the
+            loss pattern of another.
+        gray_seed: optional explicit seed for the gray-link RNG streams
+            (default: derived from ``SimConfig.seed``).
     """
 
     def __init__(
@@ -146,6 +162,8 @@ class FailureManager:
         failed_links: Iterable[Tuple[int, int]] = (),
         cell_loss_rate: float = 0.0,
         loss_seed: Optional[object] = None,
+        link_loss_rates: Optional[Dict[Tuple[int, int], float]] = None,
+        gray_seed: Optional[object] = None,
     ):
         self.initial_failed: Set[int] = set(failed_nodes)
         self.initial_failed_links: List[Tuple[int, int]] = sorted(
@@ -156,6 +174,19 @@ class FailureManager:
             raise ValueError("detection takes at least one epoch")
         if not 0.0 <= cell_loss_rate < 1.0:
             raise ValueError(f"cell loss rate must be in [0, 1), got {cell_loss_rate}")
+        self.link_loss_rates: Dict[Tuple[int, int], float] = {}
+        for (a, b), rate in sorted((link_loss_rates or {}).items()):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"gray loss rate for link {a}->{b} must be in [0, 1], "
+                    f"got {rate}"
+                )
+            if rate > 0.0:
+                self.link_loss_rates[(a, b)] = rate
+        self._gray_seed = gray_seed
+        # per-directed-link RNG streams for 0 < rate < 1 (rate 1.0 links
+        # are failed outright in apply(), never drawn from)
+        self._gray_rng: Dict[Tuple[int, int], random.Random] = {}
         self.detection_epochs = detection_epochs
         self.propagate = propagate
         self.cell_loss_rate = cell_loss_rate
@@ -189,8 +220,23 @@ class FailureManager:
             if seed is None:
                 seed = f"{engine.config.seed}:wire-loss"
             self._loss_rng = random.Random(seed)
+        if self.link_loss_rates and not self._gray_rng:
+            gray_seed = self._gray_seed
+            if gray_seed is None:
+                gray_seed = f"{engine.config.seed}:gray"
+            for (a, b), rate in sorted(self.link_loss_rates.items()):
+                if rate >= 1.0:
+                    continue  # dead, not gray: failed below, no RNG stream
+                self._gray_rng[(a, b)] = random.Random(
+                    f"{gray_seed}:link:{a}:{b}"
+                )
         for a, b in self.initial_failed_links:
             self._fail_link(engine, a, b, 0, bidirectional=True)
+        for (a, b), rate in sorted(self.link_loss_rates.items()):
+            # a total-loss "gray" link is simply a dead wire: route it
+            # through the ordinary link-down machinery so detection fires
+            if rate >= 1.0:
+                self._fail_link(engine, a, b, 0, bidirectional=False)
         for node_id in sorted(self.initial_failed):
             self._fail_node(engine, node_id, 0)
 
@@ -207,6 +253,8 @@ class FailureManager:
                 "propagate": self.propagate,
                 "cell_loss_rate": self.cell_loss_rate,
                 "loss_seed": self._loss_seed,
+                "link_loss_rates": sorted(self.link_loss_rates.items()),
+                "gray_seed": self._gray_seed,
             },
             "events": [_encode_event(e) for e in self.events],
             "next_event": self._next_event,
@@ -220,6 +268,8 @@ class FailureManager:
                           for entry in self.event_log],
             "loss_rng": (None if self._loss_rng is None
                          else self._loss_rng.getstate()),
+            "gray_rng": [(key, rng.getstate())
+                         for key, rng in sorted(self._gray_rng.items())],
         }
 
     @classmethod
@@ -235,6 +285,9 @@ class FailureManager:
             failed_links=[tuple(link) for link in params["failed_links"]],
             cell_loss_rate=params["cell_loss_rate"],
             loss_seed=params["loss_seed"],
+            link_loss_rates={tuple(link): rate for link, rate
+                             in params.get("link_loss_rates", [])},
+            gray_seed=params.get("gray_seed"),
         )
 
     def load_state(self, engine, state: dict) -> None:
@@ -265,6 +318,12 @@ class FailureManager:
             if self._loss_rng is None:
                 self._loss_rng = random.Random()
             self._loss_rng.setstate(state["loss_rng"])
+        for key, rng_state in state.get("gray_rng", []):
+            key = tuple(key)
+            rng = self._gray_rng.get(key)
+            if rng is None:
+                rng = self._gray_rng.setdefault(key, random.Random())
+            rng.setstate(rng_state)
 
     def advance(self, engine, t: int) -> None:
         """Apply timed events and fire due missed-cell detections."""
@@ -314,6 +373,17 @@ class FailureManager:
             if payload:
                 engine.wire_drop(tx)
             return None
+        if payload and self._gray_rng:
+            gray = self._gray_rng.get((tx.sender, tx.receiver))
+            if gray is not None \
+                    and gray.random() < self.link_loss_rates[(tx.sender,
+                                                              tx.receiver)]:
+                # gray link: the payload vanishes on this (and only this)
+                # wire while the header still lands, so the link looks
+                # alive to the missed-cell detector
+                engine.wire_drop(tx)
+                return Transmission(tx.sender, tx.receiver, None,
+                                    tx.tokens, tx.ctrl)
         if payload and self.cell_loss_rate > 0.0 \
                 and self._loss_rng.random() < self.cell_loss_rate:
             # transient corruption: the payload is lost but the header —

@@ -149,10 +149,19 @@ class TelemetryCapture:
             }
             if recorder is not None:
                 run["series"] = recorder.to_dict()
+            runtime_entry: Dict[str, object] = {
+                "index": i, "runtime": manifest["runtime"]}
             if engine.monitor is not None:
                 run["monitor"] = engine.monitor.report()
+                # one code path for scorecards and ad-hoc runs: the sidecar
+                # carries the same reduced metrics scenario scoring uses,
+                # and the full report lands in the event stream (the emit
+                # happens before the ring is drained below)
+                runtime_entry["resilience"] = \
+                    engine.monitor.scorecard_metrics()
+                engine.monitor.emit_report_event()
             runs.append(run)
-            runtimes.append({"index": i, "runtime": manifest["runtime"]})
+            runtimes.append(runtime_entry)
             if ring is not None:
                 for record in ring.records:
                     events.append({

@@ -1,0 +1,48 @@
+"""Adversarial/correlated scenario matrix and resilience scorecards.
+
+The fig12 experiment measures one stress shape (independent node failures
+under benign permutations).  This package crosses *named* failure patterns
+(:data:`FAILURE_PATTERNS`: baseline, rack outages, gray links, cascades,
+independent flaps) with *named* workload shapes (:data:`WORKLOAD_SHAPES`:
+uniform permutations, incast storms, hot-destination skew, adversarial
+permutations) and every congestion-control mechanism, runs each cell
+through the standard sweep machinery (:func:`run_matrix`), scores it from
+the :class:`~repro.sim.monitor.RunMonitor` conservation/stall/detection
+metrics (:func:`score_cell`) and reduces the grid to a deterministic
+per-mechanism resilience scorecard (:func:`build_scorecard`).
+
+Every cell derives its own seed from the master seed and its grid
+coordinates (:func:`scenario_cell_seed`), so the whole scorecard is
+byte-identical across reruns and across worker counts.
+"""
+
+from .registry import (
+    FAILURE_PATTERNS,
+    WORKLOAD_SHAPES,
+    FailurePattern,
+    WorkloadShape,
+    register_failure_pattern,
+    register_workload_shape,
+)
+from .matrix import run_matrix, scenario_cell_seed
+from .scorecard import (
+    SCORE_WEIGHTS,
+    build_scorecard,
+    format_scorecard,
+    score_cell,
+)
+
+__all__ = [
+    "FAILURE_PATTERNS",
+    "FailurePattern",
+    "SCORE_WEIGHTS",
+    "WORKLOAD_SHAPES",
+    "WorkloadShape",
+    "build_scorecard",
+    "format_scorecard",
+    "register_failure_pattern",
+    "register_workload_shape",
+    "run_matrix",
+    "scenario_cell_seed",
+    "score_cell",
+]

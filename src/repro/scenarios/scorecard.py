@@ -1,0 +1,142 @@
+"""Resilience scoring: RunMonitor metrics -> per-mechanism scorecard.
+
+A cell's score is a weighted blend of four [0, 1] components, all read from
+:meth:`RunMonitor.scorecard_metrics() <repro.sim.monitor.RunMonitor.scorecard_metrics>`
+(the same reduction the ``--telemetry`` runtime sidecar carries):
+
+* **delivery** (weight 0.50) — the delivery ratio, clamped to [0, 1];
+* **conservation** (0.20) — 1 when the cell-conservation invariant held at
+  every check, else 0;
+* **stability** (0.15) — 1 minus 0.25 per plain stall and 0.5 per
+  livelock, floored at 0;
+* **detection** (0.15) — the fraction of failure events whose protocol
+  reaction fired (1 when the cell injected no failures).
+
+``score = round(100 * (0.50*delivery + 0.20*conservation
+                       + 0.15*stability + 0.15*detection), 2)``
+
+Everything is arithmetic over deterministic monitor counters, so scorecards
+are byte-identical across reruns and worker counts for a given seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["SCORE_WEIGHTS", "score_cell", "build_scorecard",
+           "format_scorecard"]
+
+#: component weights of the resilience score (documented in DESIGN.md §9)
+SCORE_WEIGHTS = {
+    "delivery": 0.50,
+    "conservation": 0.20,
+    "stability": 0.15,
+    "detection": 0.15,
+}
+
+#: stability penalties per recorded stall/livelock
+_STALL_PENALTY = 0.25
+_LIVELOCK_PENALTY = 0.5
+
+
+def score_cell(metrics: Dict[str, object]) -> float:
+    """Score one cell's :meth:`RunMonitor.scorecard_metrics` in [0, 100]."""
+    delivery = min(1.0, max(0.0, float(metrics["delivery_ratio"])))
+    conservation = 1.0 if metrics["conserved"] else 0.0
+    livelocks = int(metrics["livelocks"])
+    plain_stalls = int(metrics["stalls"]) - livelocks
+    stability = max(0.0, 1.0 - _STALL_PENALTY * plain_stalls
+                    - _LIVELOCK_PENALTY * livelocks)
+    events = int(metrics["failure_events"])
+    detection = (int(metrics["failures_detected"]) / events
+                 if events else 1.0)
+    return round(100 * (SCORE_WEIGHTS["delivery"] * delivery
+                        + SCORE_WEIGHTS["conservation"] * conservation
+                        + SCORE_WEIGHTS["stability"] * stability
+                        + SCORE_WEIGHTS["detection"] * detection), 2)
+
+
+def build_scorecard(cells: Sequence[Dict[str, object]],
+                    grid: Dict[str, object]) -> Dict[str, object]:
+    """Reduce scored matrix cells to the per-mechanism scorecard.
+
+    Args:
+        cells: :func:`repro.scenarios.matrix.run_matrix` output — one dict
+            per cell with ``pattern``/``workload``/``mechanism``/
+            ``metrics``/``score``.
+        grid: the matrix parameters (axes, n, h, duration, seed), recorded
+            verbatim so the artifact is self-describing.
+
+    Returns:
+        A JSON-serialisable dict: ``grid``, per-``mechanisms`` aggregates
+        (mean/min score, worst cell, per-pattern means), a ``ranking`` and
+        the raw ``cells``.  Deterministic for deterministic inputs.
+    """
+    mechanisms: Dict[str, Dict[str, object]] = {}
+    for mech in grid["mechanisms"]:
+        rows = [c for c in cells if c["mechanism"] == mech]
+        if not rows:
+            continue
+        scores = [c["score"] for c in rows]
+        worst = min(rows, key=lambda c: (c["score"], c["pattern"],
+                                         c["workload"]))
+        per_pattern: Dict[str, float] = {}
+        for pattern in grid["patterns"]:
+            pattern_scores = [c["score"] for c in rows
+                              if c["pattern"] == pattern]
+            if pattern_scores:
+                per_pattern[pattern] = round(
+                    sum(pattern_scores) / len(pattern_scores), 2)
+        mechanisms[mech] = {
+            "score": round(sum(scores) / len(scores), 2),
+            "min_score": worst["score"],
+            "worst_cell": {"pattern": worst["pattern"],
+                           "workload": worst["workload"]},
+            "delivery_ratio": round(
+                sum(float(c["metrics"]["delivery_ratio"]) for c in rows)
+                / len(rows), 4),
+            "conserved_cells": sum(1 for c in rows
+                                   if c["metrics"]["conserved"]),
+            "cells": len(rows),
+            "per_pattern": per_pattern,
+        }
+    ranking = sorted(mechanisms,
+                     key=lambda m: (-mechanisms[m]["score"], m))
+    return {
+        "schema": 1,
+        "grid": dict(grid),
+        "mechanisms": mechanisms,
+        "ranking": ranking,
+        "cells": list(cells),
+    }
+
+
+def format_scorecard(card: Dict[str, object]) -> str:
+    """Render the scorecard as an aligned plain-text table."""
+    patterns = [p for p in card["grid"]["patterns"]
+                if any(p in card["mechanisms"][m]["per_pattern"]
+                       for m in card["mechanisms"])]
+    headers = ["mechanism", "score", "min", "worst cell",
+               "delivery", "conserved"] + list(patterns)
+    rows: List[List[str]] = []
+    for mech in card["ranking"]:
+        agg = card["mechanisms"][mech]
+        worst = agg["worst_cell"]
+        rows.append(
+            [mech, f"{agg['score']:.2f}", f"{agg['min_score']:.2f}",
+             f"{worst['pattern']}/{worst['workload']}",
+             f"{agg['delivery_ratio']:.4f}",
+             f"{agg['conserved_cells']}/{agg['cells']}"]
+            + [f"{agg['per_pattern'].get(p, float('nan')):.2f}"
+               for p in patterns]
+        )
+    table = [headers] + rows
+    widths = [max(len(row[i]) for row in table)
+              for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(w)
+                               for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

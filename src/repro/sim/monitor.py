@@ -62,6 +62,7 @@ class RunMonitor:
         self._last_progress_t = 0
         self._sent_at_progress = 0
         self._stalled = False
+        self._report_emitted = False
 
     def attach(self, engine) -> "RunMonitor":
         """Hook this monitor into ``engine`` and return it."""
@@ -202,6 +203,59 @@ class RunMonitor:
     def report_json(self) -> str:
         """The report as canonical JSON (byte-identical for a given seed)."""
         return json.dumps(self.report(), sort_keys=True)
+
+    def scorecard_metrics(self) -> Dict[str, object]:
+        """The report reduced to the flat metrics resilience scoring uses.
+
+        One code path for the scenario scorecards, the ``--telemetry``
+        runtime sidecar and ad-hoc runs: everything here is derived from
+        :meth:`report`, so the numbers can never disagree between surfaces.
+        Deterministic for a given seed.
+        """
+        rep = self.report()
+        totals = rep["totals"]
+        injected = totals["injected"]
+        fail_events = []
+        failures = rep.get("failures")
+        if failures:
+            fail_events = [e for e in failures["events"]
+                           if e["action"] == "fail"]
+        detected = [e["detect_first_slots"] for e in fail_events
+                    if e["detect_first_slots"] is not None]
+        return {
+            "t": rep["t"],
+            "delivery_ratio": (totals["delivered"] / injected
+                               if injected else 1.0),
+            "conserved": not rep["violations"],
+            "checks": rep["checks"],
+            "violations": len(rep["violations"]),
+            "stalls": len(rep["stalls"]),
+            "livelocks": sum(1 for s in rep["stalls"]
+                             if s["kind"] == "livelock"),
+            "dropped": totals["dropped"],
+            "wire_losses": totals["wire_losses"],
+            "backlog": totals["queued"] + totals["in_flight"],
+            "failure_events": len(fail_events),
+            "failures_detected": len(detected),
+            "failures_undetected": len(fail_events) - len(detected),
+            "detection_mean_slots": (sum(detected) / len(detected)
+                                     if detected else None),
+        }
+
+    def emit_report_event(self) -> bool:
+        """Emit the structured report into the engine's event log, once.
+
+        Called by :class:`~repro.obs.capture.TelemetryCapture` at
+        collection time so ``<experiment>.events.jsonl`` carries the same
+        resilience report the scorecards score; safe to call repeatedly
+        (only the first call emits) and a no-op without an event log.
+        """
+        engine = self._engine
+        if engine is None or engine.events is None or self._report_emitted:
+            return False
+        self._report_emitted = True
+        engine.events.emit(engine.t, "resilience_report", self.report())
+        return True
 
     def format_report(self) -> str:
         """Human-readable rendering of :meth:`report`."""

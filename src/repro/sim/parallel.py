@@ -31,7 +31,10 @@ On top of plain dispatch the sweep provides:
   in each :class:`CellOutcome` for parallel-vs-sequential equivalence
   checks.
 * **Crash isolation** — a cell that raises inside a worker is logged and
-  retried once sequentially in the parent instead of killing the sweep.
+  retried sequentially in the parent (with exponential backoff) up to a
+  configurable budget (``retries=`` / the runner's ``--cell-retries``,
+  default 1) instead of killing the sweep; the attempt count rides along
+  in each :class:`CellOutcome` and the runtime sidecar.
 * **Shared immutable tables** — the ``(n, h)`` coordinate/schedule memo is
   pre-warmed in the parent before forking so workers share the pages.
 * **Telemetry cooperation** — workers forked under an ambient
@@ -53,7 +56,36 @@ import traceback
 from contextlib import ExitStack, contextmanager
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["sweep", "sweep_cells", "default_workers", "CellOutcome"]
+__all__ = ["sweep", "sweep_cells", "default_workers", "CellOutcome",
+           "default_cell_retries", "set_default_cell_retries"]
+
+#: ambient crash-retry budget for worker cells (runner: ``--cell-retries``)
+_default_cell_retries = 1
+
+
+def set_default_cell_retries(retries: int) -> None:
+    """Install the process-wide crash-retry budget for sweeps.
+
+    A cell that dies inside a pool worker is retried sequentially in the
+    parent up to this many times (with logged exponential backoff between
+    attempts) before the failure propagates.  ``0`` disables retries: the
+    first worker crash raises.  Sweeps that pass an explicit ``retries=``
+    override the ambient value.
+    """
+    global _default_cell_retries
+    if retries < 0:
+        raise ValueError(f"retry budget must be >= 0, got {retries}")
+    _default_cell_retries = retries
+
+
+def default_cell_retries() -> int:
+    """The ambient crash-retry budget (default 1)."""
+    return _default_cell_retries
+
+
+def _retry_backoff(attempt: int) -> float:
+    """Seconds to wait before retry ``attempt`` (1-based): 0.5, 1, 2, ... ."""
+    return min(30.0, 0.5 * 2 ** (attempt - 1))
 
 
 def default_workers(cap: int = 8) -> int:
@@ -84,12 +116,14 @@ class CellOutcome:
         cached: whether the outcome was restored from the cell cache.
         retried: whether this outcome came from the sequential crash-retry
             after the cell died in a worker.
+        attempts: total evaluations of this cell (1 = first try succeeded;
+            a cache hit keeps the attempts of the run that computed it).
         resume_slot: the timeslot the cell's engine resumed from when an
             ambient checkpoint policy found a snapshot (None = from 0).
     """
 
     __slots__ = ("value", "digests", "wall", "cached", "retried",
-                 "resume_slot")
+                 "attempts", "resume_slot")
 
     def __init__(self, value: Any, digests: Tuple[str, ...] = (),
                  wall: float = 0.0, cached: bool = False):
@@ -98,6 +132,7 @@ class CellOutcome:
         self.wall = wall
         self.cached = cached
         self.retried = False
+        self.attempts = 1
         self.resume_slot: Optional[int] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
@@ -231,6 +266,7 @@ def sweep_cells(
     cache=None,
     label: Optional[str] = None,
     digest: bool = False,
+    retries: Optional[int] = None,
 ) -> List[CellOutcome]:
     """Evaluate ``fn(**cell)`` for every cell; return rich outcomes.
 
@@ -243,6 +279,9 @@ def sweep_cells(
             is off unless the runner installed one.
         label: tag for progress lines (defaults to ``fn``'s module name).
         digest: force per-engine determinism digests even without a cache.
+        retries: crash-retry budget for cells that die inside a pool
+            worker; ``None`` uses the ambient default
+            (:func:`default_cell_retries`, normally 1).
 
     Returns:
         :class:`CellOutcome` objects in grid order.
@@ -260,6 +299,10 @@ def sweep_cells(
         workers = 1
     if label is None:
         label = getattr(fn, "__module__", "cells").rsplit(".", 1)[-1]
+    if retries is None:
+        retries = default_cell_retries()
+    elif retries < 0:
+        raise ValueError(f"retry budget must be >= 0, got {retries}")
 
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
     keys: List[Optional[str]] = [None] * len(cells)
@@ -292,7 +335,7 @@ def sweep_cells(
     else:
         _warm_shared_tables([cells[i] for i in pending])
         payloads = [(i, fn, cells[i], want_digest) for i in pending]
-        failed: List[int] = []
+        failed: List[Tuple[int, str]] = []
         try:
             # fork keeps imports cheap and shares the pre-warmed tables;
             # chunksize stays 1 because cells are whole simulations — the
@@ -303,10 +346,12 @@ def sweep_cells(
             with context.Pool(processes=pool_size) as pool:
                 for i, out in pool.imap_unordered(_invoke_payload, payloads):
                     if isinstance(out, _CellFailure):
-                        failed.append(i)
+                        failed.append((i, out.message))
+                        plan = (f"will retry sequentially, budget "
+                                f"{retries}" if retries
+                                else "retries disabled")
                         _log(f"[sweep {label}] cell {i + 1}/{len(cells)} "
-                             f"failed in a worker (will retry "
-                             f"sequentially):\n{out.message}")
+                             f"failed in a worker ({plan}):\n{out.message}")
                     else:
                         outcomes[i] = out
                         done += 1
@@ -321,19 +366,43 @@ def sweep_cells(
                  f"running remaining cells sequentially")
             run_sequential([i for i in pending if outcomes[i] is None])
             failed = []
-        # crash isolation: one sequential retry per failed cell; a second
-        # failure propagates like any sequential error would.  With an
-        # ambient checkpoint policy the retry resumes from the dead
+        # crash isolation: failed cells are retried sequentially up to the
+        # configured budget, with logged exponential backoff between
+        # attempts (transient crashes — OOM kills, flaky sandboxes — often
+        # clear once the pool's siblings are gone).  Exhausting the budget
+        # propagates the last error like any sequential error would.  With
+        # an ambient checkpoint policy each retry resumes from the dead
         # worker's last snapshot instead of recomputing from slot 0.
-        for count, i in enumerate(failed, 1):
-            out = _invoke(fn, cells[i], want_digest)
+        for count, (i, message) in enumerate(failed, 1):
+            if retries == 0:
+                raise RuntimeError(
+                    f"[sweep {label}] cell {i + 1}/{len(cells)} failed in "
+                    f"a worker and the retry budget is 0:\n{message}"
+                )
+            out = None
+            for attempt in range(1, retries + 1):
+                backoff = _retry_backoff(attempt)
+                _log(f"[sweep {label}] cell {i + 1}/{len(cells)} retry "
+                     f"{attempt}/{retries} in {backoff:.1f}s")
+                time.sleep(backoff)
+                try:
+                    out = _invoke(fn, cells[i], want_digest)
+                except Exception:
+                    if attempt == retries:
+                        raise
+                    _log(f"[sweep {label}] cell {i + 1}/{len(cells)} retry "
+                         f"{attempt}/{retries} failed:\n"
+                         f"{traceback.format_exc()}")
+                    continue
+                break
             out.retried = True
+            out.attempts = 1 + attempt
             outcomes[i] = out
             origin = ("from scratch" if out.resume_slot is None
                       else f"resumed from slot {out.resume_slot}")
-            _log(f"[sweep {label}] cell {i + 1}/{len(cells)} retried "
-                 f"({origin}) in {out.wall:.1f}s "
-                 f"({count}/{len(failed)} retries)")
+            _log(f"[sweep {label}] cell {i + 1}/{len(cells)} recovered on "
+                 f"attempt {out.attempts} ({origin}) in {out.wall:.1f}s "
+                 f"({count}/{len(failed)} crashed cells)")
     if cache is not None:
         for i in pending:
             out = outcomes[i]
@@ -365,6 +434,8 @@ def _finalize(outcomes: List[CellOutcome]) -> List[Any]:
                         runtime["cell_cached"] = out.cached
                         runtime["cell_retried"] = getattr(
                             out, "retried", False)
+                        runtime["cell_attempts"] = getattr(
+                            out, "attempts", 1)
                         runtime["cell_resume_slot"] = getattr(
                             out, "resume_slot", None)
                 active.merge(value)
@@ -381,6 +452,7 @@ def sweep(
     *,
     cache=None,
     label: Optional[str] = None,
+    retries: Optional[int] = None,
 ) -> List[Any]:
     """Evaluate ``fn(**cell)`` for every cell of ``grid``.
 
@@ -390,9 +462,10 @@ def sweep(
         workers: process count; ``None`` or ``<= 1`` runs sequentially.
         cache: optional cell cache (see :func:`sweep_cells`).
         label: tag for progress lines.
+        retries: crash-retry budget (see :func:`sweep_cells`).
 
     Returns:
         Results in the same order as ``grid``.
     """
     return _finalize(sweep_cells(fn, grid, workers,
-                                 cache=cache, label=label))
+                                 cache=cache, label=label, retries=retries))

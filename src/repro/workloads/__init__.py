@@ -27,6 +27,11 @@ from .generators import (
     poisson_workload,
     single_flow_workload,
 )
+from .adversarial import (
+    adversarial_permutation_workload,
+    hot_destination_workload,
+    incast_storm_workload,
+)
 
 __all__ = [
     "FLOW_SIZE_BUCKETS",
@@ -36,10 +41,13 @@ __all__ = [
     "HeavyTailedDistribution",
     "ShortFlowDistribution",
     "UniformSizeDistribution",
+    "adversarial_permutation_workload",
     "all_to_all_workload",
     "bucket_label",
     "bucket_of",
     "bytes_to_cells",
+    "hot_destination_workload",
+    "incast_storm_workload",
     "incast_workload",
     "overlaid_permutations_workload",
     "permutation_workload",

@@ -1,0 +1,183 @@
+"""Adversarial traffic shapes: incast storms, hot-destination skew,
+worst-case permutations.
+
+The generators in :mod:`repro.workloads.generators` model the paper's
+*benign* evaluation setup — uniform Poisson arrivals and random
+permutations, exactly the demands oblivious designs are tuned for.  The
+oblivious-routing literature (Optimal ORNs, arXiv:2111.08780) motivates the
+opposite question: what does an *adversary* who knows the topology do to an
+oblivious schedule?  These generators produce those shapes, each
+byte-reproducible from ``config.seed`` with the same
+``random.Random(config.seed ^ CONST)`` idiom as the benign generators.
+
+* :func:`incast_storm_workload` — repeated synchronized fan-in bursts at
+  random victims: many-to-one congestion that stresses receiver-side
+  queues and hop-by-hop backpressure.
+* :func:`hot_destination_workload` — Poisson-style arrivals whose
+  destinations follow a Zipf law: a few nodes soak up most of the demand,
+  concentrating spray traffic on the victims' phase groups.
+* :func:`adversarial_permutation_workload` — coordinate-shift permutations
+  in which every (src, dst) pair differs in exactly one EBS coordinate, so
+  every direct path contends for the same phase's round-robin slots — the
+  worst case for direct (non-spray) routing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..core.coordinates import CoordinateSystem
+from ..sim.config import SimConfig
+from ..sim.engine import ScheduledFlow
+
+__all__ = [
+    "adversarial_permutation_workload",
+    "hot_destination_workload",
+    "incast_storm_workload",
+]
+
+_CELL_BYTES = 244  # payload bytes per cell, matching generators.py
+
+
+def incast_storm_workload(
+    config: SimConfig,
+    size_cells: int,
+    bursts: int = 4,
+    fan_in: Optional[int] = None,
+    duration: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    nodes: Optional[Sequence[int]] = None,
+) -> List[ScheduledFlow]:
+    """Repeated synchronized incast bursts at seeded random victims.
+
+    Each burst picks a victim and ``fan_in`` distinct senders and starts
+    all their flows at the same slot — the classic many-to-one storm.
+    Burst times are spread evenly over the window with seeded jitter so
+    storms can overlap with failure episodes at any phase of the run.
+
+    Args:
+        config: supplies ``n``, the default duration and the seed.
+        size_cells: cells per flow.
+        bursts: number of storm episodes.
+        fan_in: senders per burst (default: all other nodes — full incast).
+        duration: arrival window (default: ``config.duration``).
+        rng: random source (default: seeded from ``config.seed``).
+        nodes: restrict endpoints to this subset.
+    """
+    if bursts < 1:
+        raise ValueError(f"need at least one burst, got {bursts}")
+    rng = rng if rng is not None else random.Random(config.seed ^ 0x1CA57)
+    duration = duration if duration is not None else config.duration
+    pool = list(nodes) if nodes is not None else list(range(config.n))
+    if len(pool) < 2:
+        raise ValueError("need at least two nodes")
+    fan = fan_in if fan_in is not None else len(pool) - 1
+    if not 1 <= fan <= len(pool) - 1:
+        raise ValueError(f"fan_in must be in [1, {len(pool) - 1}], got {fan}")
+    size_bytes = size_cells * _CELL_BYTES
+    stride = max(1, duration // bursts)
+    flows: List[ScheduledFlow] = []
+    for k in range(bursts):
+        at = min(duration - 1, k * stride + rng.randrange(stride))
+        victim = pool[rng.randrange(len(pool))]
+        senders = rng.sample([p for p in pool if p != victim], fan)
+        flows.extend(
+            (at, src, victim, size_cells, size_bytes) for src in senders
+        )
+    return sorted(flows)
+
+
+def hot_destination_workload(
+    config: SimConfig,
+    size_cells: int,
+    flows_per_node: int = 4,
+    zipf_s: float = 1.2,
+    duration: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    nodes: Optional[Sequence[int]] = None,
+) -> List[ScheduledFlow]:
+    """Arrivals whose destinations follow a Zipf law over a seeded ranking.
+
+    Every node originates ``flows_per_node`` flows at uniform random slots;
+    each flow's destination is drawn with probability proportional to
+    ``1 / rank**zipf_s`` over a seeded shuffle of the node list, so a
+    handful of hot nodes receive most of the traffic.  ``zipf_s = 0``
+    degenerates to uniform destinations.
+
+    Args:
+        config: supplies ``n``, the default duration and the seed.
+        size_cells: cells per flow.
+        flows_per_node: flows originated by each node.
+        zipf_s: skew exponent (larger = hotter head).
+        duration: arrival window (default: ``config.duration``).
+        rng: random source (default: seeded from ``config.seed``).
+        nodes: restrict endpoints to this subset.
+    """
+    if flows_per_node < 1:
+        raise ValueError(f"flows_per_node must be >= 1, got {flows_per_node}")
+    if zipf_s < 0:
+        raise ValueError(f"zipf exponent must be >= 0, got {zipf_s}")
+    rng = rng if rng is not None else random.Random(config.seed ^ 0x21FF)
+    duration = duration if duration is not None else config.duration
+    pool = list(nodes) if nodes is not None else list(range(config.n))
+    if len(pool) < 2:
+        raise ValueError("need at least two nodes")
+    ranked = list(pool)
+    rng.shuffle(ranked)  # which nodes are hot is itself seeded
+    weights = [1.0 / (rank + 1) ** zipf_s for rank in range(len(ranked))]
+    size_bytes = size_cells * _CELL_BYTES
+    flows: List[ScheduledFlow] = []
+    for src in pool:
+        for _ in range(flows_per_node):
+            arrival = rng.randrange(duration)
+            dst = rng.choices(ranked, weights=weights)[0]
+            while dst == src:
+                dst = rng.choices(ranked, weights=weights)[0]
+            flows.append((arrival, src, dst, size_cells, size_bytes))
+    return sorted(flows)
+
+
+def adversarial_permutation_workload(
+    config: SimConfig,
+    size_cells: int,
+    rounds: int = 1,
+    arrival: int = 0,
+    rng: Optional[random.Random] = None,
+) -> List[ScheduledFlow]:
+    """Coordinate-shift permutations: the worst case for direct routing.
+
+    Round ``k`` picks a phase ``p`` and a non-zero shift ``s`` (seeded) and
+    sends ``src -> with_coordinate(src, p, (coord_p(src) + s) % r)``: a
+    perfect permutation in which *every* pair differs in exactly one
+    coordinate, so every direct path is a single hop through phase ``p``'s
+    round-robin — all ``n`` flows contend for the same ``1/r`` slice of
+    slots instead of spreading over ``h`` phases.  An adversary who knows
+    the EBS wiring cannot concentrate direct traffic harder with a
+    permutation demand.  Spray traffic still balances (that is the
+    oblivious guarantee under test).
+
+    Args:
+        config: supplies ``n``/``h`` and the seed.
+        size_cells: cells per flow.
+        rounds: overlaid shift-permutations (distinct seeded (p, s) draws).
+        arrival: start slot for every round.
+        rng: random source (default: seeded from ``config.seed``).
+    """
+    if rounds < 1:
+        raise ValueError(f"need at least one round, got {rounds}")
+    rng = rng if rng is not None else random.Random(config.seed ^ 0xADE5)
+    coords = CoordinateSystem.shared(config.n, config.h)
+    r = coords.r
+    if r < 2:
+        raise ValueError("adversarial shift needs a radix of at least 2")
+    size_bytes = size_cells * _CELL_BYTES
+    flows: List[ScheduledFlow] = []
+    for _ in range(rounds):
+        phase = rng.randrange(config.h)
+        shift = 1 + rng.randrange(r - 1)  # non-zero: a true derangement
+        for src in range(config.n):
+            coord = coords.coordinate(src, phase)
+            dst = coords.with_coordinate(src, phase, (coord + shift) % r)
+            flows.append((arrival, src, dst, size_cells, size_bytes))
+    return sorted(flows)

@@ -69,21 +69,30 @@ EXPECTED_ALL = {
         "FLOW_SIZE_BUCKETS", "EmpiricalCdf", "FixedSizeDistribution",
         "FlowSizeDistribution", "HeavyTailedDistribution",
         "ShortFlowDistribution", "UniformSizeDistribution",
-        "all_to_all_workload", "bucket_label", "bucket_of",
-        "bytes_to_cells", "incast_workload",
-        "overlaid_permutations_workload", "permutation_workload",
-        "poisson_workload", "single_flow_workload", "read_workload",
-        "workload_from_string", "workload_stats", "workload_to_string",
-        "write_workload",
+        "adversarial_permutation_workload", "all_to_all_workload",
+        "bucket_label", "bucket_of", "bytes_to_cells",
+        "hot_destination_workload", "incast_storm_workload",
+        "incast_workload", "overlaid_permutations_workload",
+        "permutation_workload", "poisson_workload", "single_flow_workload",
+        "read_workload", "workload_from_string", "workload_stats",
+        "workload_to_string", "write_workload",
     ],
     "repro.obs": [
         "CallbackSink", "EventLog", "FileSink", "RingSink", "StepProfiler",
         "TelemetryCapture", "TimeSeriesRecorder", "canonical_json",
         "current_capture", "encode_event", "run_manifest", "to_jsonable",
     ],
+    "repro.scenarios": [
+        "FAILURE_PATTERNS", "FailurePattern", "SCORE_WEIGHTS",
+        "WORKLOAD_SHAPES", "WorkloadShape", "build_scorecard",
+        "format_scorecard", "register_failure_pattern",
+        "register_workload_shape", "run_matrix", "scenario_cell_seed",
+        "score_cell",
+    ],
     "repro.failures": [
-        "DirectPathTree", "FailureEvent", "FailureManager", "FaultInjector",
-        "LinkFailureEvent", "direct_next_hop", "invalidated_destinations",
+        "CorrelatedFaultInjector", "DirectPathTree", "FailureEvent",
+        "FailureManager", "FaultInjector", "LinkFailureEvent",
+        "direct_next_hop", "invalidated_destinations", "rack_outage_events",
     ],
 }
 

@@ -217,3 +217,50 @@ class TestConservationUnderInjectedFaults:
             duration=3000, flow_cells=2000, permutations=4, mode="mixed",
         )
         assert all(row.conserved for row in result.rows)
+
+
+class TestRecoveryEdgeWindow:
+    """Regression: a node that fails AND recovers inside a single metrics
+    sample window (here [100, 150) at ``metrics_sample_interval=50``) must
+    produce the same determinism digest whether or not telemetry is
+    attached — the recorder samples the window edge after the recovery and
+    must observe, never perturb, the transient."""
+
+    def _run(self, with_telemetry):
+        from repro.obs.capture import TelemetryCapture
+
+        def build_and_run():
+            manager = FailureManager(events=[
+                FailureEvent(120, 5, failed=True),
+                FailureEvent(140, 5, failed=False),
+            ])
+            cfg, engine = make_engine(manager, duration=1200, seed=23,
+                                      metrics_sample_interval=50)
+            RunMonitor().attach(engine)
+            engine.schedule_flows(permutation_workload(cfg, size_cells=150))
+            digest = engine.enable_digest()
+            engine.run()
+            return manager, digest.hexdigest()
+
+        if not with_telemetry:
+            return build_and_run() + (None,)
+        with TelemetryCapture() as capture:
+            manager, hexdigest = build_and_run()
+            runs = capture.collect()
+        return manager, hexdigest, runs
+
+    def test_digest_identical_with_and_without_telemetry(self):
+        bare_manager, bare_digest, _ = self._run(with_telemetry=False)
+        tele_manager, tele_digest, runs = self._run(with_telemetry=True)
+        assert tele_digest == bare_digest
+        assert sorted(tele_manager.detections) \
+            == sorted(bare_manager.detections)
+        # the transient really happened, and the telemetry run saw it:
+        # the monitor report rode home in the captured run payload
+        assert len(bare_manager.resilience_summary()["events"]) == 2
+        assert len(runs) == 1
+        assert "monitor" in runs[0]
+
+    def test_transient_window_run_is_reproducible(self):
+        digests = [self._run(with_telemetry=True)[1] for _ in range(2)]
+        assert digests[0] == digests[1]

@@ -37,6 +37,13 @@ def always_fail(x):
     raise ValueError("this cell is broken everywhere")
 
 
+def flaky_engine_cell(duration):
+    """``engine_cell``, but dies in any forked worker (parent retry wins)."""
+    if os.getpid() != _PARENT_PID:
+        raise RuntimeError("simulated worker crash")
+    return engine_cell(duration)
+
+
 def engine_cell(duration):
     """A tiny real simulation, for telemetry/digest dispatch tests."""
     from repro.sim.config import SimConfig
@@ -107,6 +114,53 @@ class TestCrashIsolation:
     def test_sequential_failure_propagates(self):
         with pytest.raises(ValueError, match="broken everywhere"):
             sweep(always_fail, [{"x": 1}, {"x": 2}], workers=1)
+
+    def test_zero_retry_budget_fails_fast(self):
+        """``retries=0`` turns a worker crash into an immediate error."""
+        grid = [{"x": i} for i in range(4)]
+        with pytest.raises(RuntimeError, match="retry budget is 0"):
+            sweep(parent_only, grid, workers=2, retries=0)
+
+    def test_negative_retry_budget_rejected(self):
+        with pytest.raises(ValueError, match="retry budget"):
+            sweep(square, [{"x": 1}, {"x": 2}], workers=2, retries=-1)
+
+    def test_ambient_retry_default_configurable(self):
+        from repro.sim.parallel import (default_cell_retries,
+                                        set_default_cell_retries)
+
+        assert default_cell_retries() == 1
+        set_default_cell_retries(3)
+        try:
+            assert default_cell_retries() == 3
+            with pytest.raises(ValueError):
+                set_default_cell_retries(-1)
+        finally:
+            set_default_cell_retries(1)
+
+    def test_attempts_land_in_runtime_sidecar(self):
+        """Crash-retried cells record their attempt count in the sidecar."""
+        from repro.obs.capture import TelemetryCapture
+
+        grid = [{"duration": 120}, {"duration": 160}]
+        with TelemetryCapture() as capture:
+            values = sweep(flaky_engine_cell, grid, workers=2)
+            runtimes = capture.collect_runtime()
+        assert values == sweep(engine_cell, grid, workers=1)
+        stamped = [r["runtime"] for r in runtimes]
+        assert [r["cell_attempts"] for r in stamped] == [2, 2]
+        assert all(r["cell_retried"] for r in stamped)
+
+    def test_clean_cells_record_single_attempt(self):
+        from repro.obs.capture import TelemetryCapture
+
+        grid = [{"duration": 120}, {"duration": 160}]
+        with TelemetryCapture() as capture:
+            sweep(engine_cell, grid, workers=2)
+            runtimes = capture.collect_runtime()
+        stamped = [r["runtime"] for r in runtimes]
+        assert [r["cell_attempts"] for r in stamped] == [1, 1]
+        assert not any(r["cell_retried"] for r in stamped)
 
 
 class TestPoolFallback:

