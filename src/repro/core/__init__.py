@@ -32,7 +32,24 @@ from .interleave import (
     SubScheduleSpec,
     two_class_interleave,
 )
-from .routing import Router, direct_semi_path, spray_semi_path_lengths
+from .routing import (
+    Router,
+    SemiObliviousRouter,
+    direct_semi_path,
+    spray_semi_path_lengths,
+)
+from .strategies import (
+    RoutingStrategy,
+    ScheduleStrategy,
+    make_router,
+    make_schedule,
+    register_routing,
+    register_schedule,
+    routing_names,
+    schedule_names,
+    shared_schedule,
+    validate_design,
+)
 from .validation import (
     ValidationError,
     audit,
@@ -40,7 +57,7 @@ from .validation import (
     validate_routing_reachability,
     validate_schedule,
 )
-from .schedule import Schedule, SlotInfo, srrd_schedule
+from .schedule import Schedule, SlotInfo, SrrdSchedule, srrd_schedule
 
 __all__ = [
     "ActiveBucketTracker",
@@ -55,8 +72,12 @@ __all__ = [
     "LaneSchedule",
     "PAYLOAD_SIZE_BYTES",
     "Router",
+    "RoutingStrategy",
     "Schedule",
+    "ScheduleStrategy",
+    "SemiObliviousRouter",
     "SlotInfo",
+    "SrrdSchedule",
     "SubScheduleSpec",
     "TOKEN_INVALIDATE",
     "TOKEN_REGULAR",
@@ -69,11 +90,19 @@ __all__ = [
     "direct_semi_path",
     "integer_root",
     "is_perfect_power",
+    "make_router",
+    "make_schedule",
     "optimal_latency_share",
+    "register_routing",
+    "register_schedule",
+    "routing_names",
+    "schedule_names",
     "service_fraction",
+    "shared_schedule",
     "spray_semi_path_lengths",
     "srrd_schedule",
     "validate_bucket_order",
+    "validate_design",
     "validate_routing_reachability",
     "validate_schedule",
     "two_class_interleave",

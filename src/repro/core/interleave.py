@@ -175,29 +175,34 @@ def two_class_interleave(
     s: float,
     cutoff_cells: Optional[int] = None,
     resolution: int = 100,
+    schedule: str = "ebs",
 ) -> InterleavedSchedule:
     """Convenience constructor for the paper's two-class configurations.
 
     Args:
-        n: network size (must be a perfect power for both tunings).
+        n: network size (must be feasible for both tunings).
         h_bulk: the high-throughput (low ``h``) sub-schedule's parameter.
         h_latency: the low-latency (high ``h``) sub-schedule's parameter.
         s: fraction of timeslots given to the low-latency sub-schedule
             (the paper's ``s``; 0 and 1 collapse to single schedules).
         cutoff_cells: flows at most this long use the low-latency schedule.
         resolution: slot-pattern granularity.
+        schedule: registered connection-schedule strategy to interleave
+            (both classes use the same design, default EBS).
 
     Returns:
         An :class:`InterleavedSchedule` whose spec 0 is the latency class
         (when ``s > 0``) and whose last spec is the bulk class.
     """
+    from .strategies import shared_schedule
+
     if not 0.0 <= s <= 1.0:
         raise ValueError(f"s must be within [0, 1], got {s}")
     specs: List[SubScheduleSpec] = []
     if s > 0.0:
         specs.append(
             SubScheduleSpec(
-                Schedule.shared(n, h_latency),
+                shared_schedule(schedule, n, h_latency),
                 share=s,
                 name=f"h={h_latency} (latency)",
                 max_flow_size=cutoff_cells,
@@ -206,7 +211,7 @@ def two_class_interleave(
     if s < 1.0:
         specs.append(
             SubScheduleSpec(
-                Schedule.shared(n, h_bulk),
+                shared_schedule(schedule, n, h_bulk),
                 share=1.0 - s,
                 name=f"h={h_bulk} (bulk)",
                 max_flow_size=None,

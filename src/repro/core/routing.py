@@ -25,15 +25,23 @@ from typing import List, Optional, Sequence, Tuple
 
 from .coordinates import CoordinateSystem
 from .schedule import Schedule
+from .strategies import RoutingStrategy, register_routing
 
-__all__ = ["Router", "Path", "direct_semi_path", "spray_semi_path_lengths"]
+__all__ = ["Router", "SemiObliviousRouter", "Path", "direct_semi_path",
+           "spray_semi_path_lengths"]
 
 
 Path = List[int]
 
 
-class Router:
+@register_routing("vlb")
+class Router(RoutingStrategy):
     """Computes Shale next hops and full paths.
+
+    The reference :class:`~repro.core.strategies.RoutingStrategy`: every cell
+    sprays the full ``h - 1`` further hops after its admission hop, landing at
+    a uniformly random intermediate before the direct semi-path — Valiant's
+    classic 2x-cost scheme.
 
     Args:
         schedule: the connection schedule being routed over.
@@ -49,6 +57,18 @@ class Router:
         self.h = schedule.h
         self.r = schedule.r
         self.rng = rng if rng is not None else random.Random()
+
+    # ------------------------------------------------------------------ #
+    # admission decision (consulted by the simulator's TX pipeline)
+
+    def admission_sprays(self, src: int, dst: int, phase: int,
+                         neighbor: int) -> int:
+        """VLB always takes the full spraying semi-path.
+
+        The admission hop is the first spray; ``h - 1`` further spraying
+        hops follow before the direct semi-path.
+        """
+        return self.h - 1
 
     # ------------------------------------------------------------------ #
     # next hop computation
@@ -152,6 +172,89 @@ class Router:
     def max_path_hops(self) -> int:
         """Upper bound on hops per path: ``2h``."""
         return 2 * self.h
+
+
+@register_routing("semi_oblivious")
+class SemiObliviousRouter(Router):
+    """Direct-first / spray-fallback semi-oblivious routing.
+
+    In the spirit of *Breaking the VLB Barrier* (arXiv:2308.14837): VLB's
+    2x bandwidth tax pays for worst-case obliviousness, but on benign
+    (e.g. permutation) traffic most of the spraying is wasted.  This router
+    keeps the admission hop — the cell still rides whatever slot it is
+    admitted in, so injection is never throttled below VLB's — but decides
+    the rest of the path by whether that hop already made progress:
+
+    * **direct-first** — if the slot's neighbour corrects the current
+      phase's coordinate toward the destination, the admission hop *is* a
+      direct hop: zero further sprays, and the cell follows the direct
+      semi-path the rest of the way (``<= h`` hops total, recovering toward
+      1x cost on permutation traffic);
+    * **spray-fallback** — otherwise the admission hop counts as the first
+      of ``spray_hops`` spraying hops (default 1, i.e. no further sprays),
+      after which the direct semi-path completes the route
+      (``<= h + spray_hops`` hops).
+
+    The decision is a pure function of ``(src, dst, phase, neighbor)`` —
+    no extra randomness — so simulations stay byte-reproducible and the
+    hardware RX pipeline could compute it combinationally.  Worst-case
+    spreading is weaker than VLB's full ``h``-hop spray; the conformance
+    suite holds it to the same delivery/determinism contract and fig01's
+    cross-design matrix quantifies the tradeoff.
+    """
+
+    __slots__ = ("spray_hops",)
+
+    def __init__(self, schedule: Schedule, rng: Optional[random.Random] = None,
+                 spray_hops: int = 1):
+        super().__init__(schedule, rng=rng)
+        if spray_hops < 1:
+            raise ValueError(
+                f"spray_hops must be >= 1 (the admission hop), got {spray_hops}"
+            )
+        self.spray_hops = spray_hops
+
+    def admission_sprays(self, src: int, dst: int, phase: int,
+                         neighbor: int) -> int:
+        """Zero further sprays when the admission hop corrects a coordinate."""
+        coords = self.coords
+        if coords.coordinate(neighbor, phase) == coords.coordinate(dst, phase):
+            return 0
+        return self.spray_hops - 1
+
+    def sample_path(self, src: int, dst: int, start_phase: int = 0) -> Path:
+        """Sample a complete semi-oblivious path from ``src`` to ``dst``.
+
+        The admission hop goes to a uniformly random phase-neighbour in
+        ``start_phase`` (standing in for whichever round-robin offset the
+        admitting slot happens to be); the rest of the path follows the
+        admission decision exactly as the simulator would.
+        """
+        if src == dst:
+            return [src]
+        path = [src]
+        node = self.spray_hop(src, start_phase)
+        path.append(node)
+        sprays = self.admission_sprays(src, dst, start_phase, node)
+        phase = start_phase + 1
+        for _ in range(sprays):
+            node = self.spray_hop(node, phase % self.h)
+            path.append(node)
+            phase += 1
+        for i in range(self.h):
+            nxt = self.direct_hop(node, dst, (phase + i) % self.h)
+            if nxt is not None:
+                node = nxt
+                path.append(node)
+        if node != dst:
+            raise AssertionError(
+                f"routing invariant violated: ended at {node}, wanted {dst}"
+            )
+        return path
+
+    def max_path_hops(self) -> int:
+        """Upper bound on hops per path: ``h + spray_hops``."""
+        return self.h + self.spray_hops
 
 
 def direct_semi_path(coords: CoordinateSystem, node: int, dst: int,

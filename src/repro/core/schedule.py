@@ -19,15 +19,12 @@ by RotorNet, Shoal and Sirius (paper Fig. 2); Fig. 3 of the paper shows the
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
-from .coordinates import CoordinateSystem
+from .coordinates import CoordinateSystem, integer_root
+from .strategies import ScheduleStrategy, register_schedule, shared_schedule
 
-__all__ = ["Schedule", "SlotInfo", "srrd_schedule"]
-
-#: process-wide memo of shared immutable schedules, keyed by (n, h); see
-#: :meth:`Schedule.shared`
-_shared: Dict[Tuple[int, int], "Schedule"] = {}
+__all__ = ["Schedule", "SrrdSchedule", "SlotInfo", "srrd_schedule"]
 
 
 class SlotInfo:
@@ -66,8 +63,14 @@ class SlotInfo:
         return hash((self.epoch, self.phase, self.offset))
 
 
-class Schedule:
-    """The oblivious EBS connection schedule for an ``N = r**h`` network."""
+@register_schedule("ebs")
+class Schedule(ScheduleStrategy):
+    """The oblivious EBS connection schedule for an ``N = r**h`` network.
+
+    The reference :class:`~repro.core.strategies.ScheduleStrategy`: every
+    other connection-schedule design registers against the same contract
+    and is held to it by ``tests/test_strategy_conformance.py``.
+    """
 
     __slots__ = ("coords", "h", "r", "n", "phase_length", "epoch_length",
                  "phase_table", "offset_table")
@@ -103,13 +106,38 @@ class Schedule:
         engine of a sweep cell shares one instance per network size instead
         of rebuilding the phase/offset tables; ``Engine.__init__`` consults
         this memo, and :func:`repro.sim.parallel.sweep` pre-warms it before
-        forking so workers share the parent's pages.
+        forking so workers share the parent's pages.  The memo lives in
+        :mod:`repro.core.strategies`, keyed by (strategy name, n, h), so
+        every registered design shares the same mechanism.
         """
-        instance = _shared.get((n, h))
-        if instance is None:
-            instance = _shared.setdefault(
-                (n, h), cls(CoordinateSystem.shared(n, h)))
-        return instance
+        return shared_schedule(cls.strategy_name, n, h)
+
+    # ------------------------------------------------------------------ #
+    # strategy registration hooks (see repro.core.strategies)
+
+    @classmethod
+    def validate_params(cls, n: int, h: int) -> None:
+        """EBS feasibility: ``n = r**h`` for integer ``r >= 2``."""
+        try:
+            r = integer_root(n, h)
+        except ValueError as exc:
+            raise ValueError(
+                f"schedule {cls.strategy_name!r}: infeasible (n={n}, h={h}): "
+                f"{exc}"
+            ) from None
+        if r < 2:
+            raise ValueError(
+                f"schedule {cls.strategy_name!r}: infeasible (n={n}, h={h}): "
+                f"radix must be >= 2, got r={r}"
+            )
+
+    @classmethod
+    def build(cls, n: int, h: int) -> "Schedule":
+        return cls(CoordinateSystem.shared(n, h))
+
+    @classmethod
+    def conformance_cases(cls) -> List[Tuple[int, int]]:
+        return [(9, 2), (16, 2), (8, 3)]
 
     # ------------------------------------------------------------------ #
     # timeslot decoding
@@ -199,9 +227,45 @@ class Schedule:
         return 1.0 / (2 * self.h)
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"Schedule(n={self.n}, h={self.h}, r={self.r}, E={self.epoch_length})"
+        return (f"{type(self).__name__}(n={self.n}, h={self.h}, r={self.r}, "
+                f"E={self.epoch_length})")
+
+
+@register_schedule("srrd")
+class SrrdSchedule(Schedule):
+    """The Single Round-Robin Design schedule (RotorNet/Shoal/Sirius).
+
+    SRRD is the ``h = 1`` member of the EBS family (paper Fig. 2): one
+    round-robin among all ``n`` nodes, epoch length ``n - 1``.  As a
+    first-class registered strategy it is feasible for *any* ``n >= 2``
+    (every integer is a perfect first power), selectable via
+    ``SimConfig(schedule="srrd", h=1)``, and held to the same conformance
+    contract as every other design.
+    """
+
+    __slots__ = ()
+
+    @classmethod
+    def validate_params(cls, n: int, h: int) -> None:
+        """SRRD is the single round-robin: exactly one phase over all nodes."""
+        if h != 1:
+            raise ValueError(
+                f"schedule 'srrd': infeasible (n={n}, h={h}): the single "
+                f"round-robin design has exactly one phase; set h=1"
+            )
+        if n < 2:
+            raise ValueError(
+                f"schedule 'srrd': infeasible (n={n}, h={h}): need at "
+                f"least 2 nodes"
+            )
+
+    @classmethod
+    def conformance_cases(cls) -> List[Tuple[int, int]]:
+        # deliberately includes a non-perfect-power n: SRRD has no radix
+        # constraint beyond n >= 2
+        return [(5, 1), (9, 1)]
 
 
 def srrd_schedule(n: int) -> Schedule:
     """The Single Round-Robin Design schedule (RotorNet/Shoal/Sirius, h=1)."""
-    return Schedule.for_network(n, 1)
+    return SrrdSchedule.for_network(n, 1)

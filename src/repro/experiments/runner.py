@@ -225,6 +225,15 @@ def main(argv: Optional[List[str]] = None) -> int:
              "(shorthand for --set seed=S)",
     )
     parser.add_argument(
+        "--designs",
+        nargs="+",
+        default=None,
+        metavar="SCHED:ROUTING[:H]",
+        help="cross-design comparison specs for fig01 (e.g. ebs:vlb "
+             "ebs:semi_oblivious srrd:vlb); shorthand for "
+             "--set designs=[...]",
+    )
+    parser.add_argument(
         "--cell-retries",
         type=int,
         default=None,
@@ -282,6 +291,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     overrides = _parse_overrides(args.overrides)
     if args.seed is not None:
         overrides.setdefault("seed", args.seed)
+    if args.designs is not None:
+        overrides.setdefault("designs", tuple(args.designs))
 
     if args.cell_retries is not None:
         from ..sim.parallel import set_default_cell_retries

@@ -350,8 +350,11 @@ class HardwareNetwork:
         first_hop_budget: int = 0,
         active_bucket_slots: int = 4096,
         seed: int = 1,
+        schedule: str = "ebs",
     ):
-        self.schedule = Schedule.shared(n, h)
+        from ..core.strategies import shared_schedule
+
+        self.schedule = shared_schedule(schedule, n, h)
         self.coords = self.schedule.coords
         self.timings = timings if timings is not None else HardwareTimings()
         self.token_budget = token_budget

@@ -95,6 +95,12 @@ class SimConfig:
         use_fifo_for_hbh: ablation switch — run hop-by-hop with plain FIFO
             queues instead of PIEO (head-of-line blocking study).
         metrics_sample_interval: timeslots between buffer-occupancy samples.
+        schedule: registered connection-schedule strategy name
+            (``"ebs"`` | ``"srrd"`` | any name added via
+            :func:`repro.core.register_schedule`).
+        routing: registered routing strategy name (``"vlb"`` |
+            ``"semi_oblivious"`` | any name added via
+            :func:`repro.core.register_routing`).
     """
 
     n: int = 64
@@ -115,6 +121,8 @@ class SimConfig:
     use_fifo_for_hbh: bool = False
     metrics_sample_interval: int = 50
     timing: TimingModel = field(default_factory=TimingModel)
+    schedule: str = "ebs"
+    routing: str = "vlb"
 
     VALID_CC = (
         "none",
@@ -128,9 +136,11 @@ class SimConfig:
     )
 
     def __post_init__(self) -> None:
-        from ..core.coordinates import integer_root
+        from ..core.strategies import validate_design
 
-        integer_root(self.n, self.h)  # raises if n is not a perfect power
+        # raises with a registry-aware message for unknown strategy names
+        # and a strategy-specific one for infeasible (n, h)
+        validate_design(self.schedule, self.routing, self.n, self.h)
         if self.congestion_control not in self.VALID_CC:
             raise ValueError(
                 f"unknown congestion control {self.congestion_control!r}; "

@@ -24,7 +24,7 @@ from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.cell import Cell
 from ..core.header import TOKEN_REGULAR, Token
-from ..core.schedule import Schedule
+from ..core.strategies import make_router, shared_schedule
 from .config import SimConfig
 from .digest import DeterminismDigest
 from .flows import Flow, FlowTable
@@ -64,11 +64,14 @@ class Engine:
         failure_manager=None,
     ):
         self.config = config
-        # coordinate/schedule tables are immutable and depend only on (n, h):
+        # schedule tables are immutable and depend only on (strategy, n, h):
         # every engine of a sweep shares one process-wide instance per size
-        self.schedule = Schedule.shared(config.n, config.h)
+        self.schedule = shared_schedule(config.schedule, config.n, config.h)
         self.coords = self.schedule.coords
         self.rng = random.Random(config.seed)
+        #: routing strategy deciding each cell's admission shape; shares the
+        #: engine RNG so strategy choice alone never forks the stream
+        self.routing = make_router(config.routing, self.schedule, self.rng)
         self.flows = FlowTable()
         self.metrics = MetricsCollector(
             config.n,
@@ -627,7 +630,7 @@ class Engine:
                         if flow is not None and node.uses_hbh:
                             key = (neighbor, flow.dst, node._hm1)
                             if key in node._spent_map:
-                                flow = node._pick_flow(t, neighbor)
+                                flow = node._pick_flow(t, neighbor, phase)
                         if flow is not None:
                             cell = node._emit_flow_cell(
                                 flow, t, phase, neighbor

@@ -181,6 +181,8 @@ class Node:
         "_tx_pool",
         "_inline_tx",
         "_link_items",
+        "_routing",
+        "_default_routing",
     )
 
     def __init__(self, node_id: int, engine) -> None:
@@ -198,6 +200,13 @@ class Node:
         self.is_ndp = self.mode == "ndp"
         self.is_rd_family = self.mode in ("rd", "ndp")
         self.epoch_length = engine.schedule.epoch_length
+        #: the engine's routing strategy (admission-shape decisions)
+        self._routing = engine.routing
+        #: True under reference VLB routing: admission sprays are always
+        #: ``h - 1``, which the fused TX paths hard-code.  Any other strategy
+        #: routes through the reference picker/emitter, which consult
+        #: ``_routing.admission_sprays`` per cell.
+        self._default_routing = config.routing == "vlb"
 
         # neighbors[p][k-1] = phase-p neighbour at round-robin offset k
         self.neighbors: List[List[int]] = [
@@ -277,6 +286,7 @@ class Node:
         self._inline_tx = (
             self._simple_pick
             and not self._is_priority
+            and self._default_routing
             and (not self.uses_hbh or (self._budget1 and not self._fifo_hbh))
         )
         self.local_flows: List[Flow] = []
@@ -487,7 +497,8 @@ class Node:
                     cell.prev_hop = node_id
                     cell.hops += 1
         if cell is None and (self.local_flows or self.rtx_queue):
-            if self.rtx_queue or not self._simple_pick:
+            if self.rtx_queue or not self._simple_pick \
+                    or not self._default_routing:
                 cell = self._admit_local_cell(t, phase, neighbor)
             else:
                 # _pick_flow's unconditional-admission path inlined: the
@@ -505,7 +516,7 @@ class Node:
                             else self._fh_budget <= spent.get(key, 0):
                         # blocked: re-run the full picker (its fallback scans
                         # for any other flow that still has credit)
-                        flow = self._pick_flow(t, neighbor)
+                        flow = self._pick_flow(t, neighbor, phase)
                 if flow is not None:
                     cell = self._emit_flow_cell(flow, t, phase, neighbor)
 
@@ -637,7 +648,7 @@ class Node:
                 return cell
         if not self.local_flows:
             return None
-        flow = self._pick_flow(t, neighbor)
+        flow = self._pick_flow(t, neighbor, phase)
         if flow is None:
             return None
         return self._emit_flow_cell(flow, t, phase, neighbor)
@@ -650,9 +661,11 @@ class Node:
         self.rtx_queue.popleft()
         flow = self.engine.flows.get(flow_id)
         size = flow.size_cells if flow is not None else 1
+        sprays = self._hm1 if self._default_routing else \
+            self._routing.admission_sprays(self.node_id, dst, phase, neighbor)
         cell = Cell(
             self.node_id, dst, flow_id=flow_id, seq=seq,
-            sprays_remaining=self.h - 1, created_at=t, flow_size=size,
+            sprays_remaining=sprays, created_at=t, flow_size=size,
         )
         cell.prev_hop = self.node_id
         cell.hops = 1
@@ -661,7 +674,7 @@ class Node:
         self.engine.metrics.on_cell_injected()
         return cell
 
-    def _pick_flow(self, t: int, neighbor: int) -> Optional[Flow]:
+    def _pick_flow(self, t: int, neighbor: int, phase: int = 0) -> Optional[Flow]:
         """Choose which local flow (if any) may emit a cell this slot."""
         candidates = self.local_flows
         mode = self.mode
@@ -698,9 +711,17 @@ class Node:
                     break
         if chosen is not None and self.uses_hbh:
             # can_send(..., first_hop=True) inlined: limit is always the
-            # first-hop budget regardless of the pair's _is_first marking
+            # first-hop budget regardless of the pair's _is_first marking.
+            # The ledger key's bucket must name the sprays the cell will
+            # actually be admitted with (the routing strategy's decision),
+            # or the charge in _emit_flow_cell would hit a different bucket
+            # and token conservation would silently break.
+            default_routing = self._default_routing
             spent = self._spent_map
-            key = (neighbor, chosen.dst, self.h - 1)
+            sprays = self._hm1 if default_routing else \
+                self._routing.admission_sprays(
+                    self.node_id, chosen.dst, phase, neighbor)
+            key = (neighbor, chosen.dst, sprays)
             if (key in spent) if self._budget1 \
                     else self._fh_budget <= spent.get(key, 0):
                 # look for any other transport-eligible flow with credit
@@ -710,8 +731,11 @@ class Node:
                         continue
                     if not self._transport_eligible(flow, t, neighbor):
                         continue
+                    sprays = self._hm1 if default_routing else \
+                        self._routing.admission_sprays(
+                            self.node_id, flow.dst, phase, neighbor)
                     if self.ledger.can_send(
-                        neighbor, (flow.dst, self.h - 1), first_hop=True
+                        neighbor, (flow.dst, sprays), first_hop=True
                     ):
                         chosen = flow
                         break
@@ -730,10 +754,13 @@ class Node:
         return True
 
     def _emit_flow_cell(self, flow: Flow, t: int, phase: int, neighbor: int) -> Cell:
+        sprays = self._hm1 if self._default_routing else \
+            self._routing.admission_sprays(
+                self.node_id, flow.dst, phase, neighbor)
         # positional args: Cell(src, dst, flow_id, seq, sprays, created, size)
         cell = Cell(
             self.node_id, flow.dst, flow.flow_id, flow.sent,
-            self.h - 1, t, flow.size_cells,
+            sprays, t, flow.size_cells,
         )
         cell.prev_hop = self.node_id
         cell.hops = 1
@@ -741,7 +768,7 @@ class Node:
         if self.uses_hbh:
             # charge(..., first_hop=True) inlined; _pick_flow just verified
             # the credit exists, so the over-budget branch cannot trigger
-            key = (neighbor, flow.dst, self.h - 1)
+            key = (neighbor, flow.dst, sprays)
             spent = self._spent_map
             if self._budget1:
                 # with T == T_F the first-hop marking cannot change any

@@ -234,28 +234,32 @@ def _invoke_payload(payload):
 
 
 def _warm_shared_tables(cells: Sequence[Dict[str, Any]]) -> None:
-    """Pre-build the (n, h) coordinate/schedule memo before forking.
+    """Pre-build the (strategy, n, h) schedule memo before forking.
 
     Workers inherit the parent's pages copy-on-write, so warming the
     immutable tables once here means no worker rebuilds them.  Cells name
     their size/tuning with the conventional ``n`` / ``h`` (or
-    ``h_bulk``/``h_latency``) kwargs; anything else simply stays cold.
+    ``h_bulk``/``h_latency``) kwargs and their connection schedule with the
+    ``schedule`` kwarg (default EBS); anything else simply stays cold.
     """
-    from ..core.schedule import Schedule
+    from ..core.strategies import shared_schedule
 
     warmed = set()
     for cell in cells:
         n = cell.get("n")
         if not isinstance(n, int) or n > 65536:
             continue
+        strategy = cell.get("schedule", "ebs")
+        if not isinstance(strategy, str):
+            continue
         for key in ("h", "h_bulk", "h_latency"):
             h = cell.get(key)
-            if isinstance(h, int) and (n, h) not in warmed:
-                warmed.add((n, h))
+            if isinstance(h, int) and (strategy, n, h) not in warmed:
+                warmed.add((strategy, n, h))
                 try:
-                    Schedule.shared(n, h)
+                    shared_schedule(strategy, n, h)
                 except ValueError:
-                    pass  # not a perfect power for this tuning
+                    pass  # infeasible (or unknown) for this tuning
 
 
 def sweep_cells(

@@ -56,12 +56,16 @@ EXPECTED_ALL = {
         "ActiveBucketTracker", "BucketId", "CELL_SIZE_BYTES", "Cell",
         "CoordinateSystem", "DemandAwareSchedule", "HEADER_SIZE_BYTES",
         "HeaderCodec", "InterleavedSchedule", "LaneSchedule",
-        "PAYLOAD_SIZE_BYTES", "Router", "Schedule", "SlotInfo",
-        "SubScheduleSpec", "TOKEN_INVALIDATE", "TOKEN_REGULAR",
-        "TOKEN_REVALIDATE", "Token", "TokenLedger", "ValidationError",
-        "audit", "bvn_decomposition", "direct_semi_path", "integer_root",
-        "is_perfect_power", "optimal_latency_share", "service_fraction",
-        "spray_semi_path_lengths", "srrd_schedule", "validate_bucket_order",
+        "PAYLOAD_SIZE_BYTES", "Router", "RoutingStrategy", "Schedule",
+        "ScheduleStrategy", "SemiObliviousRouter", "SlotInfo",
+        "SrrdSchedule", "SubScheduleSpec", "TOKEN_INVALIDATE",
+        "TOKEN_REGULAR", "TOKEN_REVALIDATE", "Token", "TokenLedger",
+        "ValidationError", "audit", "bvn_decomposition", "direct_semi_path",
+        "integer_root", "is_perfect_power", "make_router", "make_schedule",
+        "optimal_latency_share", "register_routing", "register_schedule",
+        "routing_names", "schedule_names", "service_fraction",
+        "shared_schedule", "spray_semi_path_lengths", "srrd_schedule",
+        "validate_bucket_order", "validate_design",
         "validate_routing_reachability", "validate_schedule",
         "two_class_interleave",
     ],

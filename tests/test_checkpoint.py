@@ -43,6 +43,8 @@ def _build(cc, params, with_observers=True):
         n=params["n"], h=params["h"], seed=params["seed"],
         duration=params["duration"], propagation_delay=4,
         congestion_control=cc,
+        schedule=params.get("schedule", "ebs"),
+        routing=params.get("routing", "vlb"),
     )
     manager = None
     if "fail_node" in params:

@@ -73,3 +73,47 @@ class TestSimConfig:
     def test_all_valid_cc_construct(self):
         for cc in SimConfig.VALID_CC:
             SimConfig(congestion_control=cc)
+
+
+class TestStrategySelection:
+    """SimConfig validates the (schedule, routing, n, h) design up front."""
+
+    def test_defaults_are_ebs_vlb(self):
+        cfg = SimConfig()
+        assert cfg.schedule == "ebs"
+        assert cfg.routing == "vlb"
+
+    def test_unknown_schedule_rejected_with_registry(self):
+        """The error names the bad strategy and lists what is registered."""
+        with pytest.raises(ValueError, match="unknown schedule strategy"):
+            SimConfig(schedule="rotornet")
+        with pytest.raises(ValueError, match="ebs"):
+            SimConfig(schedule="rotornet")
+
+    def test_unknown_routing_rejected_with_registry(self):
+        with pytest.raises(ValueError, match="unknown routing strategy"):
+            SimConfig(routing="ecmp")
+        with pytest.raises(ValueError, match="vlb"):
+            SimConfig(routing="ecmp")
+
+    def test_srrd_rejects_multi_phase_h(self):
+        with pytest.raises(ValueError, match="exactly one phase"):
+            SimConfig(n=16, h=2, schedule="srrd")
+
+    def test_srrd_accepts_any_n_at_h1(self):
+        """SRRD lifts the perfect-power constraint EBS imposes."""
+        cfg = SimConfig(n=10, h=1, schedule="srrd")
+        assert cfg.schedule == "srrd"
+
+    def test_ebs_infeasible_n_h_still_rejected(self):
+        with pytest.raises(ValueError, match="not a perfect"):
+            SimConfig(n=10, h=2, schedule="ebs")
+
+    def test_all_registered_pairs_construct(self):
+        from repro.core.strategies import routing_names, schedule_names
+
+        for sched in schedule_names():
+            n, h = (9, 1) if sched == "srrd" else (9, 2)
+            for routing in routing_names():
+                cfg = SimConfig(n=n, h=h, schedule=sched, routing=routing)
+                assert (cfg.schedule, cfg.routing) == (sched, routing)

@@ -18,6 +18,13 @@ Regenerating the goldens (only legitimate when simulated *behavior* is
 intentionally changed, never for a pure optimization)::
 
     PYTHONPATH=src python tests/test_golden_traces.py --record
+
+Strategy scenarios (``schedule=`` / ``routing=`` keys) pin non-default
+connection-schedule and routing strategies bit-exactly the same way.  When
+adding a new registered strategy, add a scenario naming it here, run
+``--record``, and verify the diff only *adds* entries — regenerating must
+never change an existing digest (that is the bit-exactness proof for the
+default strategies).
 """
 
 import json
@@ -44,6 +51,11 @@ SCENARIOS = {
     "n64_seed3": dict(n=64, h=2, seed=3, duration=400, size_cells=20),
     "n16_nodefail": dict(n=16, h=2, seed=5, duration=600, size_cells=30,
                          fail_node=5, fail_at=120, recover_at=400),
+    # strategy scenarios: non-default schedule / routing designs
+    "n16_srrd": dict(n=16, h=1, seed=2, duration=500, size_cells=30,
+                     schedule="srrd"),
+    "n16_semiobl": dict(n=16, h=2, seed=2, duration=500, size_cells=30,
+                        routing="semi_oblivious"),
 }
 
 
@@ -56,6 +68,8 @@ def run_scenario(cc: str, params: dict) -> dict:
         duration=params["duration"],
         propagation_delay=4,
         congestion_control=cc,
+        schedule=params.get("schedule", "ebs"),
+        routing=params.get("routing", "vlb"),
     )
     manager = None
     if "fail_node" in params:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.coordinates import CoordinateSystem
-from repro.core.schedule import Schedule, SlotInfo, srrd_schedule
+from repro.core.schedule import Schedule, SlotInfo, SrrdSchedule, srrd_schedule
 
 
 @pytest.fixture
@@ -91,6 +91,47 @@ class TestConnections:
                 assert s.send_target(x, t) == (x + t + 1) % 6
 
 
+class TestSrrdStrategy:
+    """The SRRD design registered as a first-class schedule strategy."""
+
+    @pytest.mark.parametrize("n", [2, 6, 10, 17])
+    def test_any_n_is_feasible(self, n):
+        """SRRD needs no perfect-power n: the single phase group is the
+        whole network, so every n >= 2 builds a valid schedule."""
+        s = srrd_schedule(n)
+        assert (s.n, s.h, s.r) == (n, 1, n)
+        assert s.epoch_length == n - 1
+        for t in range(s.epoch_length):
+            matrix = s.connection_matrix(t)
+            assert sorted(matrix) == list(range(n))
+            assert all(matrix[x] != x for x in range(n))
+
+    def test_rejects_multi_phase_h(self):
+        with pytest.raises(ValueError, match="exactly one phase"):
+            SrrdSchedule.validate_params(16, 2)
+
+    def test_rejects_degenerate_n(self):
+        with pytest.raises(ValueError, match="at least 2 nodes"):
+            SrrdSchedule.validate_params(1, 1)
+
+    def test_strategy_identity(self):
+        s = srrd_schedule(6)
+        assert isinstance(s, SrrdSchedule)
+        assert type(s).strategy_name == "srrd"
+        assert s.max_intrinsic_latency() == 2 * (6 - 1)
+        assert s.throughput_guarantee() == 0.5
+
+    def test_shared_memo_is_per_strategy(self):
+        """``shared`` memoizes per (strategy, n, h): an SRRD schedule never
+        aliases an EBS one even at coincident (n, h) keys."""
+        a = SrrdSchedule.shared(9, 1)
+        b = Schedule.shared(9, 1)
+        assert a is SrrdSchedule.shared(9, 1)
+        assert type(a) is SrrdSchedule
+        assert type(b) is Schedule
+        assert a is not b
+
+
 class TestQueries:
     def test_slot_for_neighbors(self, sched9):
         cs = sched9.coords
@@ -116,10 +157,40 @@ class TestQueries:
                 for earlier in range(after, t):
                     assert sched9.send_target(x, earlier) != y
 
+    def test_next_send_slot_after_exactly_on_slot(self, sched9):
+        """``after`` landing exactly on the connecting slot returns it —
+        the bound is inclusive, a cell arriving that slot departs that slot."""
+        x = 0
+        y = sched9.coords.phase_neighbors(x, 1)[0]
+        t = sched9.next_send_slot(x, y, 0)
+        assert sched9.next_send_slot(x, y, t) == t
+        assert sched9.next_send_slot(x, y, t + 1) == t + sched9.epoch_length
+
+    def test_next_send_slot_epoch_wraparound(self, sched9):
+        """``after`` past the pair's slot in the current epoch waits for the
+        next epoch's occurrence, including across many epochs."""
+        e = sched9.epoch_length
+        x = 0
+        y = sched9.coords.phase_neighbors(x, 0)[0]
+        t0 = sched9.next_send_slot(x, y, 0)
+        for k in (1, 2, 7):
+            assert sched9.next_send_slot(x, y, t0 + (k - 1) * e + 1) == \
+                t0 + k * e
+
     def test_next_phase_start(self, sched9):
         assert sched9.next_phase_start(0, 0) == 0
         assert sched9.next_phase_start(1, 0) == 2
         assert sched9.next_phase_start(0, 1) == 4
+
+    def test_next_phase_start_edges(self, sched9):
+        e = sched9.epoch_length
+        # after exactly at the phase boundary returns that slot
+        assert sched9.next_phase_start(1, 2) == 2
+        # mid-phase ``after`` skips to the next epoch's occurrence
+        assert sched9.next_phase_start(1, 3) == 2 + e
+        # last slot of an epoch wraps to the next epoch's phase 0
+        assert sched9.next_phase_start(0, e - 1) == e
+        assert sched9.next_phase_start(0, 3 * e) == 3 * e
 
     def test_theory_helpers(self, sched9):
         assert sched9.max_intrinsic_latency() == 8

@@ -1,0 +1,407 @@
+"""The strategy-conformance suite: the executable contract every registered
+schedule and routing strategy must satisfy.
+
+Parametrization is registry-driven — ``schedule_names()`` /
+``routing_names()`` plus each strategy's own ``conformance_cases()`` — so a
+newly registered design is automatically enrolled: it either passes this
+suite or is loudly rejected.  The contract has four layers:
+
+* **schedule invariants** — every slot's connection pattern is a self-loop-
+  free permutation with send/recv symmetry; the schedule is epoch-periodic
+  and connects every ordered phase-neighbour pair exactly once per epoch;
+  ``slot_for`` / ``next_send_slot`` / ``next_phase_start`` are mutually
+  consistent; the advertised ``max_intrinsic_latency`` and
+  ``throughput_guarantee`` are honoured;
+
+* **routing invariants** — sampled paths end at the destination within the
+  advertised ``max_path_hops``, every hop is schedulable (``slot_for``
+  accepts it), all pairs are reachable, and a timed walk along any sampled
+  path completes within the advertised intrinsic-latency bound;
+
+* **delivery properties** (hypothesis) — a permutation workload is fully
+  delivered for every (schedule, routing) pair at random seeds;
+
+* **determinism** — for every (schedule, routing, cc-mechanism)
+  combination, two runs at the same seed produce identical
+  DeterminismDigests, and strategy admission is token-conserving under
+  hop-by-hop.
+
+Run just this suite with ``pytest -m strategies``.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.strategies import (
+    make_router,
+    make_schedule,
+    routing_class,
+    routing_names,
+    schedule_class,
+    schedule_names,
+)
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine
+from repro.workloads.generators import permutation_workload
+
+pytestmark = pytest.mark.strategies
+
+#: the four cc mechanisms the golden traces pin, crossed with every design
+MECHANISMS = ("none", "hop-by-hop", "hbh+spray", "isd")
+
+
+def schedule_cases():
+    """Every (schedule name, n, h) the registry advertises for conformance."""
+    cases = []
+    for name in schedule_names():
+        for n, h in schedule_class(name).conformance_cases():
+            cases.append(pytest.param(name, n, h, id=f"{name}-n{n}h{h}"))
+    return cases
+
+
+def design_cases():
+    """Every feasible (schedule, routing, n, h) combination."""
+    cases = []
+    for sched in schedule_names():
+        for n, h in schedule_class(sched).conformance_cases():
+            for routing in routing_names():
+                try:
+                    routing_class(routing).validate_params(sched, n, h)
+                except ValueError:
+                    continue
+                cases.append(pytest.param(
+                    sched, routing, n, h,
+                    id=f"{sched}-{routing}-n{n}h{h}",
+                ))
+    return cases
+
+
+def sim_design_cases():
+    """One small, fast (n, h) per (schedule, routing) pair for engine runs."""
+    cases = []
+    for sched in schedule_names():
+        n, h = schedule_class(sched).conformance_cases()[0]
+        for routing in routing_names():
+            try:
+                routing_class(routing).validate_params(sched, n, h)
+            except ValueError:
+                continue
+            cases.append(pytest.param(
+                sched, routing, n, h, id=f"{sched}-{routing}-n{n}h{h}",
+            ))
+    return cases
+
+
+# --------------------------------------------------------------------- #
+# registry hygiene
+
+
+def test_reference_strategies_registered():
+    assert "ebs" in schedule_names()
+    assert "srrd" in schedule_names()
+    assert "vlb" in routing_names()
+    assert "semi_oblivious" in routing_names()
+
+
+@pytest.mark.parametrize("name", [n for n in schedule_names()])
+def test_schedule_strategy_name_round_trip(name):
+    cls = schedule_class(name)
+    assert cls.strategy_name == name
+    assert cls.conformance_cases(), f"{name} advertises no conformance cases"
+
+
+@pytest.mark.parametrize("name", [n for n in routing_names()])
+def test_routing_strategy_name_round_trip(name):
+    assert routing_class(name).strategy_name == name
+
+
+# --------------------------------------------------------------------- #
+# schedule invariants
+
+
+@pytest.mark.parametrize("name,n,h", schedule_cases())
+def test_schedule_validate_accepts_own_cases(name, n, h):
+    schedule_class(name).validate_params(n, h)
+
+
+@pytest.mark.parametrize("name,n,h", schedule_cases())
+def test_connection_matrix_is_permutation_every_slot(name, n, h):
+    sched = make_schedule(name, n, h)
+    for t in range(sched.epoch_length):
+        matrix = sched.connection_matrix(t)
+        assert sorted(matrix) == list(range(n)), f"slot {t}: not a permutation"
+        for x, y in enumerate(matrix):
+            assert x != y, f"slot {t}: self-loop at {x}"
+
+
+@pytest.mark.parametrize("name,n,h", schedule_cases())
+def test_send_recv_symmetry(name, n, h):
+    sched = make_schedule(name, n, h)
+    for t in range(sched.epoch_length):
+        for x in range(n):
+            y = sched.send_target(x, t)
+            assert sched.recv_source(y, t) == x, (
+                f"slot {t}: {x} sends to {y} but {y} receives from "
+                f"{sched.recv_source(y, t)}"
+            )
+
+
+@pytest.mark.parametrize("name,n,h", schedule_cases())
+def test_epoch_periodicity_and_pair_coverage(name, n, h):
+    sched = make_schedule(name, n, h)
+    e = sched.epoch_length
+    seen = {}
+    for t in range(e):
+        assert sched.connection_matrix(t) == sched.connection_matrix(t + e)
+        for x, y in enumerate(sched.connection_matrix(t)):
+            seen[(x, y)] = seen.get((x, y), 0) + 1
+    coords = sched.coords
+    for x in range(n):
+        for p in range(sched.h):
+            for y in coords.phase_neighbors(x, p):
+                assert seen.get((x, y), 0) == 1, (
+                    f"pair ({x}, {y}) connected {seen.get((x, y), 0)} "
+                    f"times per epoch"
+                )
+
+
+@pytest.mark.parametrize("name,n,h", schedule_cases())
+def test_slot_for_consistent_with_connection_function(name, n, h):
+    sched = make_schedule(name, n, h)
+    coords = sched.coords
+    for x in range(n):
+        for p in range(sched.h):
+            for y in coords.phase_neighbors(x, p):
+                phase, offset = sched.slot_for(x, y)
+                t = phase * sched.phase_length + (offset - 1)
+                assert sched.send_target(x, t) == y
+
+
+@pytest.mark.parametrize("name,n,h", schedule_cases())
+def test_next_send_slot_is_minimal_and_correct(name, n, h):
+    sched = make_schedule(name, n, h)
+    coords = sched.coords
+    e = sched.epoch_length
+    for x in range(min(n, 6)):
+        for y in coords.phase_neighbors(x, 0) + (
+            coords.phase_neighbors(x, 1) if sched.h > 1 else []
+        ):
+            for after in (0, 1, e - 1, e, e + 1, 3 * e - 1):
+                t = sched.next_send_slot(x, y, after)
+                assert t >= after
+                assert sched.send_target(x, t) == y
+                # minimality: no earlier slot >= after connects the pair
+                for earlier in range(after, t):
+                    assert sched.send_target(x, earlier) != y
+
+
+@pytest.mark.parametrize("name,n,h", schedule_cases())
+def test_advertised_guarantees_sane(name, n, h):
+    sched = make_schedule(name, n, h)
+    assert sched.max_intrinsic_latency() == 2 * sched.epoch_length
+    assert 0.0 < sched.throughput_guarantee() <= 1.0
+    assert sched.throughput_guarantee() == 1.0 / (2 * sched.h)
+
+
+@pytest.mark.parametrize("name", [n for n in schedule_names()])
+def test_schedule_rejects_infeasible_params(name):
+    cls = schedule_class(name)
+    with pytest.raises(ValueError):
+        cls.validate_params(7, 3)  # 7 is not a perfect cube; srrd needs h=1
+    with pytest.raises(ValueError):
+        cls.validate_params(1, 1)  # a 1-node network has no one to talk to
+
+
+# --------------------------------------------------------------------- #
+# routing invariants
+
+
+@pytest.mark.parametrize("sched,routing,n,h", design_cases())
+def test_paths_reach_destination_within_hop_bound(sched, routing, n, h):
+    schedule = make_schedule(sched, n, h)
+    router = make_router(routing, schedule, rng=random.Random(0))
+    bound = router.max_path_hops()
+    for src in range(n):
+        for dst in range(n):
+            for start_phase in range(schedule.h):
+                path = router.sample_path(src, dst, start_phase)
+                assert path[0] == src and path[-1] == dst
+                moves = sum(1 for a, b in zip(path, path[1:]) if a != b)
+                assert moves <= bound, (
+                    f"{src}->{dst}: {moves} hops exceeds advertised "
+                    f"bound {bound}"
+                )
+
+
+@pytest.mark.parametrize("sched,routing,n,h", design_cases())
+def test_paths_respect_schedule(sched, routing, n, h):
+    """Every hop of every sampled path is a schedulable connection."""
+    schedule = make_schedule(sched, n, h)
+    router = make_router(routing, schedule, rng=random.Random(1))
+    for src in range(n):
+        for dst in range(n):
+            path = router.sample_path(src, dst)
+            for a, b in zip(path, path[1:]):
+                if a == b:
+                    continue
+                phase, offset = schedule.slot_for(a, b)  # raises if not 1-hop
+                assert 0 <= phase < schedule.h
+                assert 1 <= offset <= schedule.phase_length
+
+
+def _scheme_walk_slots(schedule, router, src, dst, t0):
+    """Slots to reach ``dst`` from ``src`` admitted at ``t0``, zero queuing.
+
+    Emulates the simulator's hop-by-hop scheme exactly: the admission hop
+    takes slot ``t0``'s wire; each further spraying hop departs at the
+    first slot of its designated phase (any offset is a legal spray, so
+    randomness costs no wait); each direct hop waits for the specific
+    (phase, offset) correcting the next mismatched coordinate, scanning
+    phases cyclically from the spray-phase hint.
+    """
+    coords = schedule.coords
+    neighbor = schedule.send_target(src, t0)
+    sprays = router.admission_sprays(src, dst, schedule.phase_of(t0), neighbor)
+    node, t = neighbor, t0 + 1
+    p = (schedule.phase_of(t0) + 1) % schedule.h
+    while sprays > 0 and node != dst:
+        depart = t if schedule.phase_of(t) == p \
+            else schedule.next_phase_start(p, t)
+        node, t = schedule.send_target(node, depart), depart + 1
+        p = (p + 1) % schedule.h
+        sprays -= 1
+    for _ in range(schedule.h):
+        if node == dst:
+            break
+        want = coords.coordinate(dst, p)
+        if coords.coordinate(node, p) != want:
+            nxt = coords.with_coordinate(node, p, want)
+            t = schedule.next_send_slot(node, nxt, t) + 1
+            node = nxt
+        p = (p + 1) % schedule.h
+    assert node == dst, f"scheme walk stranded at {node}, wanted {dst}"
+    return t - t0
+
+
+@pytest.mark.parametrize("sched,routing,n,h", design_cases())
+def test_timed_walk_within_intrinsic_latency(sched, routing, n, h):
+    """A zero-queuing walk of the scheme fits the advertised latency.
+
+    A cell admitted at any slot ``t0``, riding each hop's next available
+    slot, must reach its destination within ``max_intrinsic_latency`` —
+    the claim Fig. 1 rests on.
+    """
+    schedule = make_schedule(sched, n, h)
+    router = make_router(routing, schedule, rng=random.Random(2))
+    bound = schedule.max_intrinsic_latency()
+    for src in range(min(n, 5)):
+        for dst in range(n):
+            if src == dst:
+                continue
+            for t0 in (0, schedule.phase_length, schedule.epoch_length - 1):
+                taken = _scheme_walk_slots(schedule, router, src, dst, t0)
+                assert taken <= bound, (
+                    f"{src}->{dst} from slot {t0}: {taken} slots exceeds "
+                    f"intrinsic latency bound {bound}"
+                )
+
+
+@pytest.mark.parametrize("sched,routing,n,h", design_cases())
+def test_admission_sprays_within_path_budget(sched, routing, n, h):
+    """The admission decision never exceeds the advertised hop bound."""
+    schedule = make_schedule(sched, n, h)
+    router = make_router(routing, schedule, rng=random.Random(3))
+    coords = schedule.coords
+    bound = router.max_path_hops()
+    for src in range(min(n, 6)):
+        for dst in range(n):
+            if src == dst:
+                continue
+            for phase in range(schedule.h):
+                for neighbor in coords.phase_neighbors(src, phase):
+                    sprays = router.admission_sprays(src, dst, phase, neighbor)
+                    assert sprays >= 0
+                    # admission hop + further sprays + <= h direct hops
+                    assert 1 + sprays + schedule.h <= bound + schedule.h
+                    assert 1 + sprays <= bound
+
+
+# --------------------------------------------------------------------- #
+# delivery properties (hypothesis)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@pytest.mark.parametrize("sched,routing,n,h", sim_design_cases())
+def test_permutation_workload_fully_delivered(sched, routing, n, h, seed):
+    cfg = SimConfig(
+        n=n, h=h, seed=seed, duration=400, propagation_delay=2,
+        congestion_control="hbh+spray", schedule=sched, routing=routing,
+    )
+    workload = permutation_workload(cfg, 10, rng=random.Random(seed))
+    engine = Engine(cfg, workload=workload)
+    engine.run(cfg.duration)
+    engine.run_until_quiescent(max_extra=50_000)
+    m = engine.metrics
+    assert m.cells_injected == 10 * n
+    assert m.payload_cells_delivered == m.cells_injected
+    assert m.cells_dropped == 0
+
+
+# --------------------------------------------------------------------- #
+# determinism: every (schedule, routing, cc) combination
+
+
+def _digest_run(sched, routing, n, h, cc, seed=11):
+    cfg = SimConfig(
+        n=n, h=h, seed=seed, duration=300, propagation_delay=2,
+        congestion_control=cc, schedule=sched, routing=routing,
+    )
+    workload = permutation_workload(cfg, 12, rng=random.Random(seed))
+    engine = Engine(cfg, workload=workload)
+    digest = engine.enable_digest()
+    engine.run(cfg.duration)
+    return digest.hexdigest(), engine.metrics.payload_cells_delivered
+
+
+@pytest.mark.parametrize("cc", MECHANISMS)
+@pytest.mark.parametrize("sched,routing,n,h", sim_design_cases())
+def test_digest_stable_across_reruns(sched, routing, n, h, cc):
+    first = _digest_run(sched, routing, n, h, cc)
+    second = _digest_run(sched, routing, n, h, cc)
+    assert first == second, (
+        f"{sched}/{routing}/{cc}: same seed, different event stream"
+    )
+    assert first[1] > 0, "run delivered nothing — vacuous digest"
+
+
+@pytest.mark.parametrize("sched,routing,n,h", sim_design_cases())
+def test_hop_by_hop_token_conservation(sched, routing, n, h):
+    """After quiescence no forwarding-bucket credit stays spent: every
+    admitted cell's token came home to the bucket the strategy charged.
+
+    One exception is pinned by the golden traces: when the admission hop
+    lands directly on the destination, the source still charges the
+    first-hop credit but delivery never repays it (final hops are free
+    only on the *forwarding* side).  Those entries have neighbor == dst
+    and are excluded; everything else must conserve exactly.
+    """
+    cfg = SimConfig(
+        n=n, h=h, seed=5, duration=400, propagation_delay=2,
+        congestion_control="hop-by-hop", schedule=sched, routing=routing,
+    )
+    workload = permutation_workload(cfg, 10, rng=random.Random(5))
+    engine = Engine(cfg, workload=workload)
+    engine.run(cfg.duration)
+    engine.run_until_quiescent(max_extra=50_000)
+    assert engine.metrics.payload_cells_delivered == 10 * n
+    for node in engine.nodes:
+        spent = {k: v for k, v in node.ledger._spent.items()
+                 if v and k[0] != k[1]}
+        assert not spent, (
+            f"{sched}/{routing}: node {node.node_id} has unreturned "
+            f"tokens {spent}"
+        )
