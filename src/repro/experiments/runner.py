@@ -39,6 +39,13 @@ content-addressed cell cache (:mod:`repro.sim.cellcache`): grid cells
 already computed with identical code + configuration are restored instead
 of re-simulated, and per-experiment hit/miss counts are reported.
 
+``--backend NAME`` installs an engine backend (:mod:`repro.sim.backends`)
+as the process default for every engine the run builds: ``object`` (the
+reference per-node pipelines) or ``vector`` (the vectorized numpy slot
+stepper, bit-exact and ~5x faster at n=256 where it applies).  The choice
+lands in every resolved config, so cell-cache keys and checkpoints never
+mix backends.
+
 ``--checkpoint-dir DIR`` (with ``--checkpoint-every N``, default 100000
 timeslots) installs a :class:`~repro.sim.checkpoint.CheckpointPolicy`:
 every sweep cell periodically snapshots its engines into DIR, a cell that
@@ -251,6 +258,14 @@ def main(argv: Optional[List[str]] = None) -> int:
              "REPRO_CACHE environment variable, if set)",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="engine backend for every engine the run builds "
+             "(\"object\" | \"vector\"; default: the process default, "
+             "normally \"object\") — see repro.sim.backends",
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         type=pathlib.Path,
         default=None,
@@ -315,6 +330,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache = CellCache(cache_dir)
         previous_cache = set_default_cache(cache)
 
+    previous_backend = None
+    if args.backend is not None:
+        from ..sim.backends import set_default_backend
+
+        # validates the name up front; forked sweep workers inherit the
+        # module-level default, and it lands in every resolved SimConfig
+        # (hence in cell-cache keys and checkpoint validation)
+        previous_backend = set_default_backend(args.backend)
+
     policy = None
     previous_policy = None
     if args.checkpoint_dir is not None:
@@ -335,6 +359,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             from ..sim.checkpoint import set_default_policy
 
             set_default_policy(previous_policy)
+        if previous_backend is not None:
+            from ..sim.backends import set_default_backend
+
+            set_default_backend(previous_backend)
 
 
 def _run_all(names: List[str], overrides: Dict[str, Any], workers: int,

@@ -107,16 +107,6 @@ class TimeSeriesRecorder:
         Called by the engine right after the metrics sampling step, so the
         instantaneous readings land at exactly the sampling instants.
         """
-        metrics = engine.metrics
-        cols = self._cols
-        prev = self._prev
-        cur = tuple(
-            getattr(metrics, attr) for _, attr in self._DELTA_SOURCES
-        )
-        self._prev = cur
-        cols["t"].append(t)
-        for (name, _), now, before in zip(self._DELTA_SOURCES, cur, prev):
-            cols[name].append(now - before)
         queued = 0
         max_queue = 0
         max_buffer = 0
@@ -137,6 +127,42 @@ class TimeSeriesRecorder:
                 active = len(tracker)
                 if active > active_buckets:
                     active_buckets = active
+        self.on_window_stats(
+            engine, t,
+            queued=queued,
+            max_queue=max_queue,
+            max_buffer=max_buffer,
+            active_buckets=active_buckets,
+        )
+
+    def on_window_stats(
+        self,
+        engine,
+        t: int,
+        *,
+        queued: int,
+        max_queue: int,
+        max_buffer: int,
+        active_buckets: int,
+    ) -> None:
+        """Close one window with the node populations supplied by the caller.
+
+        The vectorized backend already holds the queue populations in
+        columns, so it computes them with array ops and hands them over
+        instead of paying :meth:`on_window`'s per-node walk; everything
+        else (counter deltas, wire and flow populations) is read from the
+        engine identically in both entry points.
+        """
+        metrics = engine.metrics
+        cols = self._cols
+        prev = self._prev
+        cur = tuple(
+            getattr(metrics, attr) for _, attr in self._DELTA_SOURCES
+        )
+        self._prev = cur
+        cols["t"].append(t)
+        for (name, _), now, before in zip(self._DELTA_SOURCES, cur, prev):
+            cols[name].append(now - before)
         cols["queued"].append(queued)
         cols["in_flight"].append(engine._in_flight_payload)
         cols["active_flows"].append(engine.flows.active_count)

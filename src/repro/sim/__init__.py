@@ -1,5 +1,11 @@
 """Packet-level discrete-timeslot simulator for Shale networks."""
 
+from .backends import (
+    EngineBackend,
+    backend_names,
+    default_backend,
+    set_default_backend,
+)
 from .checkpoint import (
     Checkpoint,
     CheckpointError,
@@ -31,6 +37,10 @@ __all__ = [
     "ConservationError",
     "ControlMessage",
     "Engine",
+    "EngineBackend",
+    "backend_names",
+    "default_backend",
+    "set_default_backend",
     "default_policy",
     "load_checkpoint",
     "load_checkpoint_or_none",

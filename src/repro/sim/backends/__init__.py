@@ -1,0 +1,153 @@
+"""Pluggable engine execution backends.
+
+The :class:`~repro.sim.engine.Engine` owns the simulated *state* — nodes,
+queues, flows, the wire — while a backend owns the *slot loop* that advances
+it.  Two backends ship:
+
+* ``"object"`` — the reference backend: the per-node object pipelines
+  (``Node.transmit`` / ``Node.receive`` and their inlined twins) exactly as
+  they always ran.  Every mechanism, failure scenario and observer is
+  supported; this is the default.
+* ``"vector"`` — a vectorized slot stepper that keeps per-node queue heads,
+  cell headers and flow cursors in flat numpy int64 columns and advances
+  every node per timeslot with array operations (see
+  :mod:`repro.sim.backends.vector`).  It reproduces the object backend
+  *bit-exactly* — including CPython's ``randrange`` rejection-loop RNG
+  consumption — for the configurations it accelerates, and transparently
+  falls back to the reference pipeline for the rest (non-``vlb`` routing,
+  congestion-control machinery, failure state, attached monitors/tracers).
+
+Backends are registered by name, mirroring
+:mod:`repro.core.strategies`: selection is
+``SimConfig(backend="vector")`` or the runner's ``--backend`` flag, which
+installs a process-wide default picked up by every config that does not name
+a backend explicitly.  The chosen backend is part of the resolved config, so
+it lands in cell-cache keys and checkpoint config validation automatically —
+cached or resumed results can never silently mix backends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+__all__ = [
+    "EngineBackend",
+    "register_backend",
+    "backend_names",
+    "backend_class",
+    "make_backend",
+    "default_backend",
+    "set_default_backend",
+]
+
+
+class EngineBackend:
+    """Contract for engine slot-loop backends.
+
+    A backend advances ``engine`` through timeslots.  It must leave the
+    engine's object model authoritative whenever it returns: checkpoints,
+    observers and manual :meth:`~repro.sim.engine.Engine.step` calls may
+    read or mutate any engine state between backend calls.
+
+    One backend instance is built per engine
+    (:meth:`~repro.sim.engine.Engine.__init__`) and may cache per-engine
+    state on itself.
+    """
+
+    __slots__ = ()
+
+    #: registry name; set by :func:`register_backend`
+    backend_name: str = ""
+
+    def step_slots(self, engine, end: int, step) -> None:
+        """Advance ``engine`` until ``engine.t >= end``.
+
+        ``step`` is the engine's bound single-slot stepper for this run
+        (:meth:`~repro.sim.engine.Engine.step`, or its profiled twin when a
+        profiler is attached); backends that cannot accelerate the current
+        engine state must fall back to calling it.
+        """
+        raise NotImplementedError
+
+    def drain_slots(self, engine, deadline: int, step) -> None:
+        """Advance ``engine`` until payload quiescence or ``deadline``.
+
+        Quiescence is the :meth:`~repro.sim.engine.Engine.run_until_quiescent`
+        predicate: no pending flow arrivals, no active flows, and no payload
+        cells on the wire.
+        """
+        raise NotImplementedError
+
+
+#: name -> backend class
+_REGISTRY: Dict[str, Type[EngineBackend]] = {}
+
+#: the process-wide default backend name, used by configs that do not name
+#: one explicitly (installed by the runner's ``--backend``)
+_default_name = "object"
+
+
+def register_backend(name: str):
+    """Class decorator registering an :class:`EngineBackend` under ``name``."""
+
+    def decorate(cls: Type[EngineBackend]) -> Type[EngineBackend]:
+        cls.backend_name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in backends so the registry is fully populated."""
+    if "object" not in _REGISTRY:
+        from . import object_backend  # noqa: F401 - registers "object"
+    if "vector" not in _REGISTRY:
+        from . import vector  # noqa: F401 - registers "vector"
+
+
+def backend_names() -> List[str]:
+    """Sorted names of every registered backend."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def backend_class(name: str) -> Type[EngineBackend]:
+    """The backend class registered under ``name``.
+
+    The empty string resolves to the ambient default, mirroring how an
+    unset :attr:`SimConfig.backend` resolves at construction time.
+    """
+    _ensure_builtins()
+    if not name:
+        name = _default_name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine backend {name!r}; "
+            f"registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def make_backend(name: str) -> EngineBackend:
+    """A fresh backend instance for ``name``."""
+    return backend_class(name)()
+
+
+def default_backend() -> str:
+    """The ambient backend name configs resolve to when they name none."""
+    return _default_name
+
+
+def set_default_backend(name: str) -> str:
+    """Install ``name`` as the ambient default; returns the previous name.
+
+    Validates ``name`` against the registry first, so a typo fails at the
+    command line instead of deep inside the first engine construction.
+    """
+    global _default_name
+    backend_class(name)  # raises for unknown names
+    previous = _default_name
+    _default_name = name
+    return previous

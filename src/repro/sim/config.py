@@ -101,6 +101,13 @@ class SimConfig:
         routing: registered routing strategy name (``"vlb"`` |
             ``"semi_oblivious"`` | any name added via
             :func:`repro.core.register_routing`).
+        backend: registered engine backend name (``"object"`` |
+            ``"vector"``; see :mod:`repro.sim.backends`).  The empty
+            string (the default) resolves to the ambient process default —
+            normally ``"object"``, overridable via the runner's
+            ``--backend`` — at construction time, so a resolved config
+            always names its backend explicitly (cache keys and checkpoint
+            validation therefore never mix backends silently).
     """
 
     n: int = 64
@@ -123,6 +130,7 @@ class SimConfig:
     timing: TimingModel = field(default_factory=TimingModel)
     schedule: str = "ebs"
     routing: str = "vlb"
+    backend: str = ""
 
     VALID_CC = (
         "none",
@@ -137,10 +145,14 @@ class SimConfig:
 
     def __post_init__(self) -> None:
         from ..core.strategies import validate_design
+        from .backends import backend_class, default_backend
 
         # raises with a registry-aware message for unknown strategy names
         # and a strategy-specific one for infeasible (n, h)
         validate_design(self.schedule, self.routing, self.n, self.h)
+        if not self.backend:
+            self.backend = default_backend()
+        backend_class(self.backend)  # registry-aware error for unknown names
         if self.congestion_control not in self.VALID_CC:
             raise ValueError(
                 f"unknown congestion control {self.congestion_control!r}; "

@@ -43,6 +43,28 @@ class _IntBuffer:
         data[size] = value
         self._size = size + 1
 
+    def extend(self, values: np.ndarray) -> None:
+        """Append a whole int64 array of samples at once.
+
+        The bulk twin of :meth:`append` for vectorized callers (see
+        :mod:`repro.sim.backends.vector`): one copy per batch instead of
+        one Python call per sample.
+        """
+        count = len(values)
+        if count == 0:
+            return
+        data = self._data
+        size = self._size
+        need = size + count
+        if need > data.shape[0]:
+            capacity = data.shape[0]
+            while capacity < need:
+                capacity *= 2
+            data = np.resize(data, capacity)
+            self._data = data
+        data[size:need] = values
+        self._size = need
+
     def view(self) -> np.ndarray:
         """The filled prefix (zero-copy; invalidated by the next growth)."""
         return self._data[: self._size]

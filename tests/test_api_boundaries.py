@@ -43,6 +43,8 @@ EXPECTED_ALL = {
     "repro.sim": [
         "Checkpoint", "CheckpointError", "CheckpointPolicy",
         "CheckpointWriter", "ConservationError", "ControlMessage", "Engine",
+        "EngineBackend", "backend_names", "default_backend",
+        "set_default_backend",
         "default_policy", "load_checkpoint", "load_checkpoint_or_none",
         "save_checkpoint", "set_default_policy", "RunMonitor", "Flow",
         "FlowRecord", "FlowTable", "MetricsCollector",

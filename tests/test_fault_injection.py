@@ -264,3 +264,112 @@ class TestRecoveryEdgeWindow:
     def test_transient_window_run_is_reproducible(self):
         digests = [self._run(with_telemetry=True)[1] for _ in range(2)]
         assert digests[0] == digests[1]
+
+
+class TestRecoveryActiveSetEquivalence:
+    """Regression: a node revived via ``Node.reset_for_recovery`` while
+    outside ``Engine._active_ids`` must rejoin the active set before its
+    next pending work (resumed local flows, probe replies, rtx queue) —
+    otherwise the inlined active-set TX path silently skips it until an
+    unrelated arrival, diverging from the reference full scan."""
+
+    def _run(self, full_scan):
+        manager = FailureManager(events=[
+            FailureEvent(300, 3, failed=True),
+            FailureEvent(900, 3, failed=False),
+        ])
+        cfg, engine = make_engine(manager, duration=2500, seed=17)
+        engine.force_full_scan = full_scan
+        digest = engine.enable_digest()
+        engine.schedule_flows(permutation_workload(cfg, size_cells=800))
+        revived_sent = []
+        engine.delivery_hook = lambda cell, t: (
+            revived_sent.append((t, cell.seq))
+            if cell.src == 3 and t > 900 else None
+        )
+        engine.run()
+        engine.run_until_quiescent(max_extra=20_000)
+        return (
+            digest.hexdigest(),
+            engine.metrics.payload_cells_delivered,
+            sorted(manager.detections),
+            len(revived_sent),
+        )
+
+    def test_kill_and_revive_matches_full_scan(self):
+        fast = self._run(full_scan=False)
+        ref = self._run(full_scan=True)
+        assert fast == ref
+        # the revival mattered: the node resumed sending its surviving
+        # local flow after recovery, through the active-set path too
+        assert fast[3] > 0
+
+
+class TestWireDropTokenHeal:
+    """Regression: the wire-loss token heal must not depend on the sender's
+    liveness.  A sender can crash *between* transmitting a cell and the
+    in-flight drop of that cell; the bucket credit it charged at transmit
+    time must still be returned to its ledger, otherwise the charge leaks
+    (the cell will never arrive to return it) and the persisted ledger
+    state carries a phantom charge into checkpoints."""
+
+    def test_heal_applies_to_failed_sender(self):
+        from repro.core.cell import Cell
+        from repro.sim.node import Transmission
+
+        cfg, engine = make_engine(FailureManager(), duration=100)
+        sender = engine.nodes[0]
+        neighbor = next(iter(engine.coords.all_neighbors(0)))
+        dst = next(
+            d for d in range(cfg.n) if d not in (0, neighbor)
+        )
+        bucket = (dst, 1)
+        sender.ledger.charge(neighbor, bucket)
+        assert sender.ledger.available(neighbor, bucket) \
+            == cfg.token_budget - 1
+        cell = Cell(0, dst, flow_id=7, seq=3, sprays_remaining=1)
+        tx = Transmission(0, neighbor, cell)
+        sender.failed = True  # crash lands after the transmit
+        engine.wire_drop(tx)
+        assert engine.metrics.wire_losses == 1
+        # the charge was healed even though the sender is down ...
+        assert sender.ledger.available(neighbor, bucket) == cfg.token_budget
+        # ... so the ledger the node carries into recovery is clean
+        sender.reset_for_recovery(engine.t)
+        assert sender.ledger.available(neighbor, bucket) == cfg.token_budget
+
+    def test_crashed_sender_credit_heals_on_in_flight_drop(self):
+        """Seeded end-to-end variant: crash a real sender while its cell is
+        on the wire, fail the receiver so the cell drops, and check the
+        sender's ledger got its credit back."""
+        manager = FailureManager()
+        cfg, engine = make_engine(manager, duration=4000, seed=11)
+        engine.schedule_flows(permutation_workload(cfg, size_cells=200))
+        tx = None
+        for _ in range(200):
+            engine.run(1)
+            for cand in engine._in_flight:
+                cell = cand.cell
+                if cell is not None and not cell.dummy \
+                        and cand.receiver != cell.dst:
+                    tx = cand
+                    break
+            if tx is not None:
+                break
+        assert tx is not None, "no charged payload hop went on the wire"
+        sender = engine.nodes[tx.sender]
+        bucket = (tx.cell.dst, tx.cell.sprays_remaining)
+
+        def avail():
+            return sender.ledger.available(tx.receiver, bucket)
+
+        before = avail()
+        assert before < cfg.token_budget  # the transmit charged this bucket
+        # the sender crashes with the cell mid-flight; the receiver crashes
+        # too, which is what turns the arrival into a wire drop
+        sender.failed = True
+        engine.nodes[tx.receiver].failed = True
+        losses_before = engine.metrics.wire_losses
+        engine.run(cfg.propagation_delay + 2)
+        assert engine.metrics.wire_losses > losses_before
+        assert avail() > before

@@ -135,6 +135,45 @@ class TestFailureIsolation:
         assert "figa" in out
 
 
+class TestBackendFlag:
+    def test_backend_installed_and_restored(self, fake_experiments):
+        """``--backend vector`` is the ambient default while the experiment
+        runs, and the previous default is restored afterwards."""
+        registry, _ = fake_experiments
+        from repro.sim.backends import default_backend
+
+        seen = {}
+
+        def run_probe(**kwargs):
+            seen["backend"] = default_backend()
+            return {"name": "probe"}
+
+        registry["figp"] = make_module("figp", run_probe)
+        before = default_backend()
+        assert runner.main(["figp", "--backend", "vector"]) == 0
+        assert seen["backend"] == "vector"
+        assert default_backend() == before
+
+    def test_backend_restored_after_failure(self, monkeypatch):
+        from repro.sim.backends import default_backend
+
+        registry = {
+            "figx": make_module(
+                "figx", lambda: (_ for _ in ()).throw(RuntimeError("boom"))
+            ),
+        }
+        monkeypatch.setattr(runner, "ALL_EXPERIMENTS", registry)
+        before = default_backend()
+        assert runner.main(["figx", "--backend", "vector"]) == 1
+        assert default_backend() == before
+
+    def test_unknown_backend_fails_loudly(self, fake_experiments):
+        # validated up front by set_default_backend, before any experiment
+        # runs — a typo fails at the command line
+        with pytest.raises(ValueError, match="backend"):
+            runner.main(["figa", "--backend", "warp"])
+
+
 class TestTelemetryArtifacts:
     def _run(self, tmp_path, tag):
         out = tmp_path / tag
