@@ -12,7 +12,12 @@ more active buckets with plateauing PIEO lengths, h=4 stays nearly flat, and
 short-flow FCTs grow at most ~2x (h=2) or stay flat (h=4).
 
 Defaults are scaled down (perfect powers for both tunings: 16..1296); the
-``sizes`` argument accepts the paper's values for anyone with the patience.
+``sizes`` argument accepts the paper's values for anyone with the patience,
+and ``paper_scale=True`` (``--paper-scale`` on the runner) swaps in a
+paper-scale grid whose largest points reach N = 10,000 nodes.  Every size
+must be a perfect h-th power (EBS needs an integral radix r = n**(1/h));
+infeasible (h, n) pairs are rejected up front with the nearest feasible
+alternatives, before any simulation time is spent.
 """
 
 from __future__ import annotations
@@ -27,13 +32,59 @@ from ..sim.engine import Engine
 from ..workloads.distributions import bucket_label
 from .common import experiment_entrypoint, format_table, load_for, run_cc_experiment, workload_for
 
-__all__ = ["Fig13Result", "run", "report", "DEFAULT_SIZES"]
+__all__ = ["Fig13Result", "run", "report", "DEFAULT_SIZES", "PAPER_SIZES"]
 
 #: Down-scaled size sweeps; each n must be a perfect h-th power.
 DEFAULT_SIZES: Dict[int, Tuple[int, ...]] = {
     2: (64, 144, 256, 400, 625),
     4: (16, 81, 256, 625, 1296),
 }
+
+#: Paper-scale sweeps (``--paper-scale``): the largest point of each tuning
+#: reaches N = 10,000 nodes (r=100 for h=2, r=10 for h=4).
+PAPER_SIZES: Dict[int, Tuple[int, ...]] = {
+    2: (1024, 4096, 10_000),
+    4: (1296, 4096, 10_000),
+}
+
+
+def _feasible_radix(n: int, h: int) -> Optional[int]:
+    """The integral radix r with r**h == n (r >= 2), or None."""
+    if n < 2 ** h:
+        return None
+    r = round(n ** (1.0 / h))
+    for candidate in (r - 1, r, r + 1):
+        if candidate >= 2 and candidate ** h == n:
+            return candidate
+    return None
+
+
+def _validate_sizes(sizes: Dict[int, Tuple[int, ...]]) -> None:
+    """Reject infeasible (h, n) pairs before any simulation time is spent.
+
+    EBS needs an integral radix r = n**(1/h) with r >= 2; for every
+    infeasible pair the error lists the nearest feasible sizes so a sweep
+    can be corrected without consulting the topology code.
+    """
+    problems = []
+    for h, size_list in sorted(sizes.items()):
+        if h < 1:
+            problems.append(f"h={h}: tuning must satisfy h >= 1")
+            continue
+        for n in size_list:
+            if _feasible_radix(n, h) is not None:
+                continue
+            r = max(2, round(n ** (1.0 / h)))
+            nearby = sorted({max(2, r - 1) ** h, r ** h, (r + 1) ** h})
+            alts = ", ".join(str(a) for a in nearby if a != n)
+            problems.append(
+                f"h={h}, n={n}: n must be a perfect {h}-th power of an "
+                f"integral radix r >= 2 (nearest feasible: {alts})"
+            )
+    if problems:
+        raise ValueError(
+            "infeasible fig13 size grid:\n  " + "\n  ".join(problems)
+        )
 
 
 @dataclass
@@ -78,11 +129,15 @@ def run(
     propagation_delay: int = 8,
     seed: int = 13,
     workers: int = 1,
+    paper_scale: bool = False,
 ) -> Fig13Result:
     """Sweep system size for each tuning on the short flow workload."""
     from ..sim.parallel import sweep
 
-    sizes = {int(k): tuple(v) for k, v in (sizes or DEFAULT_SIZES).items()}
+    if sizes is None:
+        sizes = PAPER_SIZES if paper_scale else DEFAULT_SIZES
+    sizes = {int(k): tuple(v) for k, v in sizes.items()}
+    _validate_sizes(sizes)
     grid = [
         dict(h=h, n=n, duration=duration,
              propagation_delay=propagation_delay, seed=seed)

@@ -262,8 +262,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         metavar="NAME",
         help="engine backend for every engine the run builds "
-             "(\"object\" | \"vector\"; default: the process default, "
-             "normally \"object\") — see repro.sim.backends",
+             "(\"object\" | \"vector\" | \"shard\"; default: the process "
+             "default, normally \"object\") — see repro.sim.backends",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="worker-process count for the \"shard\" backend (default: 4); "
+             "results are bit-identical for every K",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper-scale size grid for experiments that have one "
+             "(fig13: largest points reach N=10,000 nodes); shorthand for "
+             "--set paper_scale=True",
     )
     parser.add_argument(
         "--checkpoint-dir",
@@ -308,6 +323,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides.setdefault("seed", args.seed)
     if args.designs is not None:
         overrides.setdefault("designs", tuple(args.designs))
+    if args.paper_scale:
+        overrides.setdefault("paper_scale", True)
 
     if args.cell_retries is not None:
         from ..sim.parallel import set_default_cell_retries
@@ -339,6 +356,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         # (hence in cell-cache keys and checkpoint validation)
         previous_backend = set_default_backend(args.backend)
 
+    previous_shards = None
+    if args.shards is not None:
+        from ..sim.backends import set_default_shards
+
+        # validates up front; shard-pool workers are spawned lazily by the
+        # backend, so setting the module default is all the wiring needed
+        previous_shards = set_default_shards(args.shards)
+
     policy = None
     previous_policy = None
     if args.checkpoint_dir is not None:
@@ -363,6 +388,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             from ..sim.backends import set_default_backend
 
             set_default_backend(previous_backend)
+        if previous_shards is not None:
+            from ..sim.backends import set_default_shards
+
+            set_default_shards(previous_shards)
 
 
 def _run_all(names: List[str], overrides: Dict[str, Any], workers: int,

@@ -60,6 +60,8 @@ def run_manifest(engine, wall_seconds: Optional[float] = None
         "h": config.h,
         "seed": config.seed,
         "congestion_control": config.congestion_control,
+        "backend": config.backend,
+        "backend_effective": engine.backend_effective,
         "slots": engine.t,
         "epoch_length": engine.schedule.epoch_length,
         "config": to_jsonable(config),

@@ -16,6 +16,13 @@ it.  Two backends ship:
   consumption — for the configurations it accelerates, and transparently
   falls back to the reference pipeline for the rest (non-``vlb`` routing,
   congestion-control machinery, failure state, attached monitors/tracers).
+* ``"shard"`` — a multi-process stepper that partitions the nodes along
+  EBS phase-group boundaries across :func:`default_shards` worker
+  processes advancing in lockstep, exchanging cross-shard cells through
+  deterministic per-slot mailboxes (see :mod:`repro.sim.backends.shard`).
+  Same bit-exactness contract and fallback rules as ``"vector"``; the
+  shard count is an *execution* parameter, not part of the configuration,
+  so it never enters cache keys or checkpoints.
 
 Backends are registered by name, mirroring
 :mod:`repro.core.strategies`: selection is
@@ -38,6 +45,8 @@ __all__ = [
     "make_backend",
     "default_backend",
     "set_default_backend",
+    "default_shards",
+    "set_default_shards",
 ]
 
 
@@ -104,6 +113,8 @@ def _ensure_builtins() -> None:
         from . import object_backend  # noqa: F401 - registers "object"
     if "vector" not in _REGISTRY:
         from . import vector  # noqa: F401 - registers "vector"
+    if "shard" not in _REGISTRY:
+        from . import shard  # noqa: F401 - registers "shard"
 
 
 def backend_names() -> List[str]:
@@ -150,4 +161,32 @@ def set_default_backend(name: str) -> str:
     backend_class(name)  # raises for unknown names
     previous = _default_name
     _default_name = name
+    return previous
+
+
+#: the process-wide shard count used by the ``"shard"`` backend.  An
+#: *execution* parameter like ``--workers``, deliberately kept out of
+#: :class:`~repro.sim.config.SimConfig`: a K-shard run is bit-exact with a
+#: single-process run, so the count must never enter cache keys,
+#: checkpoints or manifests.
+_default_shards = 4
+
+
+def default_shards() -> int:
+    """The ambient shard count for the ``"shard"`` backend."""
+    return _default_shards
+
+
+def set_default_shards(count: int) -> int:
+    """Install ``count`` as the ambient shard count; returns the previous.
+
+    Installed by the runner's ``--shards``; validated here so a bad value
+    fails at the command line.
+    """
+    global _default_shards
+    count = int(count)
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    previous = _default_shards
+    _default_shards = count
     return previous

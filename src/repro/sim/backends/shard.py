@@ -1,0 +1,1348 @@
+"""The sharded multi-process slot stepper.
+
+Partitions the network's nodes into ``K`` contiguous ranges along EBS
+phase-group boundaries (digit-0 blocks are contiguous runs of ``n/r``
+node ids, so when ``K <= r`` every block lands wholly inside one shard)
+and advances each range in its own persistent worker process.  Workers
+run the same vectorized stepper as the ``"vector"`` backend
+(:class:`~repro.sim.backends.vector._VectorRun`), restricted to their
+node range, and exchange cross-shard cells through deterministic
+per-slot mailboxes.
+
+Lockstep protocol (one *round* = ``min(delay, slots left)`` timeslots):
+
+* Within a round every worker steps its slots locally.  A cell sent at
+  slot ``s`` arrives at ``s + delay``, so with rounds no longer than the
+  propagation delay every arrival of round ``R`` was sent in an earlier
+  round and is already sitting in the receiver's arrival buffer.
+* At the round boundary each worker sends exactly one message per peer:
+  the per-slot sub-batches destined to that peer, the per-slot *trigger
+  lists* (ascending sender ids of every cell that will consume a
+  spraying draw on arrival), and per-slot liveness bits.  Messages are
+  tagged ``(segment, round, source shard)`` and re-ordered receiver-side,
+  so queue interleaving never reaches the simulation.
+* Receivers concatenate sub-batches in shard order, which restores the
+  single-process batch: ascending-sender order, exactly what the object
+  wire and the vector stepper produce.
+
+Determinism of the spraying RNG is the crux: every worker mirrors the
+*same* engine Mersenne Twister and, at each arrival slot, draws the
+*global* number of accepted ``randrange(1, r)`` values (the trigger
+lists give the exact count and order), then keeps only the draws whose
+position matches its own arriving cells.  All workers therefore consume
+identical word counts from identical streams, a ``K``-shard run is
+bit-exact with the single-process backends, and the shard count never
+needs to enter cache keys or checkpoints.
+
+Termination under draining uses the same per-slot liveness bits: a slot
+is globally quiescent when every shard reported no pending flow
+arrivals, no active flow cursors, no queued cells and no in-flight
+cells at its top.  Slots stepped past the first quiescent slot are
+provable no-ops (nothing can be sent, drawn or delivered), so workers
+may overrun to the round boundary; the parent rewinds ``engine.t`` to
+the quiescent slot and drops the overrun sample windows.
+
+The parent engine stays authoritative between segments: after a gather
+it replays delivery digests, flow completions, injections and sample
+windows in exact single-process order, rebuilds the object model (its
+queues via :meth:`~repro.sim.node.Node.absorb_shard_state`), and
+resynchronises the engine's ``random.Random`` past the consumed words.
+"""
+
+from __future__ import annotations
+
+import traceback
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ...core.cell import Cell
+from ..node import Transmission
+from ..parallel import ShardCrash, ShardWorkerError, get_shard_pool
+from . import EngineBackend, default_shards, register_backend
+from .vector import (
+    _EV_DELIVERY,
+    _VectorRun,
+    _fast_ineligible_reason,
+    VectorBackend,
+    build_hop_tables,
+)
+
+__all__ = ["ShardBackend", "shard_ranges"]
+
+
+def shard_ranges(n: int, r: int, count: int):
+    """``count`` contiguous ``[lo, hi)`` node ranges covering ``0..n``.
+
+    When ``count <= r`` and ``n`` divides evenly into digit-0 blocks the
+    bounds are block-aligned, so every EBS phase group (a contiguous run
+    of ``n // r`` node ids sharing digit 0) lives wholly inside one
+    shard.  Alignment is a locality nicety, never a correctness
+    requirement — the fallback is a plain even split.
+    """
+    count = max(1, min(int(count), n))
+    if count <= r and n % r == 0:
+        block = n // r
+        bounds = [((k * r) // count) * block for k in range(count)]
+    else:
+        bounds = [(k * n) // count for k in range(count)]
+    bounds.append(n)
+    return [(bounds[k], bounds[k + 1]) for k in range(count)]
+
+
+def _cells_from_cols(cols: np.ndarray) -> List[Cell]:
+    """Materialize :class:`Cell` objects from an (11, m) column block."""
+    out: List[Cell] = []
+    if cols.shape[1] == 0:
+        return out
+    append = out.append
+    new = Cell.__new__
+    for src, dst, fid, seq, spr, prv, cre, sph, fsz, hp, enq in zip(
+        *(cols[i].tolist() for i in range(11))
+    ):
+        cell = new(Cell)
+        cell.src = src
+        cell.dst = dst
+        cell.flow_id = fid
+        cell.seq = seq
+        cell.sprays_remaining = spr
+        cell.prev_hop = prv
+        cell.created_at = cre
+        cell.spray_phase = sph
+        cell.flow_size = fsz
+        cell.dummy = False
+        cell.hops = hp
+        cell.enqueued_at = enq
+        append(cell)
+    return out
+
+
+def _rng_state_payload(rng):
+    """The engine RNG's MT19937 state as (key array, pos), or None."""
+    state = rng.getstate()
+    if state[0] != 3 or state[2] is not None:
+        return None
+    key = state[1]
+    return (np.array(key[:-1], dtype=np.uint32), int(key[-1]))
+
+
+def _resync_engine_rng(engine, payload, words: int) -> None:
+    """Advance the engine's ``random.Random`` past ``words`` raw words."""
+    if not words:
+        return
+    key, pos = payload
+    bg = np.random.MT19937()
+    bg.state = {
+        "bit_generator": "MT19937",
+        "state": {"key": key, "pos": pos},
+    }
+    bg.random_raw(words)
+    s = bg.state["state"]
+    engine.rng.setstate(
+        (3, tuple(int(x) for x in s["key"]) + (int(s["pos"]),), None)
+    )
+
+
+class _Proxy:
+    """A plain attribute bag standing in for engine sub-objects."""
+
+    def __init__(self, **kw):
+        self.__dict__.update(kw)
+
+
+class _WorkerRun(_VectorRun):
+    """One shard's view of a packed stretch, living in a worker process.
+
+    Reuses the parent class's slab, queue, flow-cursor and RNG-mirror
+    machinery over *global-width* arrays (only the columns of the local
+    node range ``[lo, hi)`` ever hold data), and overrides the per-slot
+    sections to exchange cross-shard cells through the mailbox mesh
+    instead of an in-process wire.
+    """
+
+    def __init__(self, idx, count, tables, task, mail_queues):
+        engine = _Proxy(
+            config=_Proxy(
+                n=tables["n"], h=tables["h"],
+                propagation_delay=tables["delay"],
+            ),
+            coords=_Proxy(r=tables["r"]),
+            schedule=_Proxy(
+                epoch_length=tables["epoch"],
+                phase_table=tables["phase_table"],
+            ),
+            metrics=_Proxy(max_queue_length=0),
+        )
+        _VectorRun.__init__(
+            self, engine, tables["nbr"], tables["link_table"], tables["qt"]
+        )
+        self.k = idx
+        self.K = count
+        self.mail = mail_queues
+        self.mymail = mail_queues[idx]
+        self.seg = task["seg"]
+        self.ranges = task["ranges"]
+        self.lo, self.hi = self.ranges[idx]
+        self.starts = np.array(
+            [lo for lo, _ in self.ranges], dtype=np.int64
+        )
+        self.t0 = task["t0"]
+        self.t_end = task["t1"]
+        self.drain = task["drain"]
+        self.warmup = task["warmup"]
+        self.interval = task["interval"]
+        self.lat_room = task["lat_room"]
+        self.want_digest = task["digest"]
+        self._empty = np.empty(0, dtype=np.int64)
+        # segment counters (cumulative over this segment)
+        self.m_del = 0      # cells delivered at local nodes
+        self.m_inj = 0      # cells injected by local flows
+        self.m_sent = 0     # cells sent by local nodes
+        self.m_arr = 0      # arrived cells processed (wire departures)
+        self.m_windel = 0   # deliveries since the last sample window
+        # replay records
+        self.rec: Dict[str, List[np.ndarray]] = {
+            name: [] for name in
+            ("t", "s", "lat", "fid", "seq", "src", "dst", "hops")
+        }
+        self.rec_n = 0
+        self.comps: List[tuple] = []     # (t, sender, flow id)
+        self.windows: List[dict] = []
+        # arrival buffers: slot -> (senders, slab rows, recvs, esph) and
+        # slot -> global ascending trigger-sender array
+        self.rxbuf: Dict[int, tuple] = {}
+        self.trigbuf: Dict[int, np.ndarray] = {}
+        # liveness bookkeeping
+        self.init_arrs: List[int] = []
+        self.init_ptr = 0
+        self.sent_hist: deque = deque()  # (slot, sent count)
+        self.sent_sum = 0
+        self.q_cells = 0
+        self.n_has_flow = 0
+        # draw stash: this shard's slice of the current slot's global draws
+        self._stash = self._empty
+        self._stash_pos = 0
+        # round exchange state
+        self.round_slots: List[dict] = []
+        self.round_live: List[bool] = []
+        self.backlog: Dict[tuple, list] = {}
+        self.load(task)
+
+    # ------------------------------------------------------------------ #
+    # task load (columns shipped by the parent's scatter)
+
+    def load(self, task) -> None:
+        lo, hi = self.lo, self.hi
+        queues = task["queues"]
+        counts = queues["counts"]      # (local_n, L)
+        qcols = queues["cols"]         # (11, total) in walk order
+        wire_total = sum(e[1].size for e in task["wire"])
+        m = qcols.shape[1]
+        self._init_slab(m + wire_total)
+        nid = self.Ln
+        if m:
+            self._slab[:11, nid:nid + m] = qcols
+        # rebuild the per-queue linked lists over the consecutive rows
+        nxt = self.c_nxt
+        q_len = self.q_len
+        q_tail = self.q_tail
+        q_peak = self.q_peak
+        counts_l = counts.tolist()
+        peaks_l = queues["peaks"].tolist()
+        pos = nid
+        n = self.n
+        for li in range(hi - lo):
+            i = lo + li
+            crow = counts_l[li]
+            prow = peaks_l[li]
+            for l in range(self.L):
+                q_peak[l, i] = prow[l]
+                cnt = crow[l]
+                if not cnt:
+                    continue
+                q_len[l, i] = cnt
+                nxt[l * n + i] = pos
+                if cnt > 1:
+                    nxt[pos:pos + cnt - 1] = np.arange(
+                        pos + 1, pos + cnt, dtype=np.int64
+                    )
+                nxt[pos + cnt - 1] = -1
+                q_tail[l, i] = pos + cnt - 1
+                pos += cnt
+        nid = pos
+        self.q_cells = int(counts.sum())
+        # the initial wire: one pre-split sub-batch per arrival slot
+        for arr, senders, cols, recvs, esph in task["wire"]:
+            w = senders.size
+            rows = np.arange(nid, nid + w, dtype=np.int64)
+            if w:
+                self._slab[:11, rows] = cols
+                nxt[rows] = -1
+                self.rxbuf[arr] = (senders, rows, recvs, esph)
+                self.init_arrs.append(arr)
+            nid += w
+        self.init_arrs.sort()
+        for arr, trig in task["wire_trig"]:
+            self.trigbuf[arr] = trig
+        # freelist over the remaining rows
+        self.free[: self.cap - nid] = np.arange(
+            nid, self.cap, dtype=np.int64
+        )
+        self.free_top = self.cap - nid
+        # flow cursors (waiting entries are (fid, dst, sent, size) tuples)
+        cur = task["cursor"]
+        self.has_flow[lo:hi] = cur["has"]
+        self.cur_fid[lo:hi] = cur["fid"]
+        self.cur_dst[lo:hi] = cur["dst"]
+        self.cur_sent[lo:hi] = cur["sent"]
+        self.cur_size[lo:hi] = cur["size"]
+        for li, wl in enumerate(cur["waiting"]):
+            if wl:
+                self.waiting[lo + li].extend(wl)
+        self.n_has_flow = int(np.count_nonzero(cur["has"]))
+        # pending flow arrivals for local sources, in global deque order,
+        # each carrying its precomputed flow id
+        self.pending = task["pending"]
+        self.pend_ptr = 0
+        # per-flow delivered preload (flows destined to this shard only)
+        for fid, delivered in task["fdel"]:
+            self._ensure_flow(fid)
+            self.f_del[fid] = delivered
+        # the shared RNG mirror
+        key, kpos = task["rng"]
+        self.rng_prestate = {
+            "bit_generator": "MT19937",
+            "state": {"key": key, "pos": kpos},
+        }
+        self.bg = np.random.MT19937()
+        self.bg.state = self.rng_prestate
+
+    # ------------------------------------------------------------------ #
+    # the draw stash: _forward/_next_hops call _draw for spraying cells;
+    # the worker pre-drew the slot's global batch in _rx2 and serves its
+    # own slice here, so stream position stays identical across shards
+
+    def _draw(self, k: int) -> np.ndarray:
+        pos = self._stash_pos
+        self._stash_pos = pos + k
+        return self._stash[pos:pos + k]
+
+# ------------------------------------------------------------------ #
+    # per-slot sections
+
+    def _live(self, tau: int) -> bool:
+        """This shard's contribution to the drain predicate at slot top.
+
+        The global OR across shards equals the single-process predicate
+        ``pending or flows._active or in_flight_payload`` exactly: queued
+        or cursor state is live at the owning shard, in-flight cells are
+        live at their *sender* for lockstep sends (sent within the last
+        ``delay`` slots) and at their *receiver* for initial-wire cells.
+        """
+        if self.pend_ptr < len(self.pending):
+            return True
+        arrs = self.init_arrs
+        ptr = self.init_ptr
+        while ptr < len(arrs) and arrs[ptr] < tau:
+            ptr += 1
+        self.init_ptr = ptr
+        if ptr < len(arrs):
+            return True
+        hist = self.sent_hist
+        edge = tau - self.delay
+        while hist and hist[0][0] < edge:
+            self.sent_sum -= hist.popleft()[1]
+        return bool(self.sent_sum or self.n_has_flow or self.q_cells)
+
+    def _rx2(self, t: int) -> None:
+        gtrig = self.trigbuf.pop(t, None)
+        gvals = None
+        if gtrig is not None and gtrig.size:
+            gvals = _VectorRun._draw(self, int(gtrig.size))
+        self._stash = self._empty
+        self._stash_pos = 0
+        batch = self.rxbuf.pop(t, None)
+        if batch is None:
+            return
+        senders, cells, recvs, esph = batch
+        m = senders.size
+        self.m_arr += m
+        d = self.c_dst[cells]
+        deliver = d == recvs
+        emask = self.c_sprays[cells] > 0
+        if gvals is not None:
+            mine = senders[emask & ~deliver]
+            if mine.size:
+                self._stash = gvals[np.searchsorted(gtrig, mine)]
+        del_ids = deliver.nonzero()[0]
+        cnt = del_ids.size
+        if cnt:
+            dc = cells[del_ids]
+            self.m_del += cnt
+            self.m_windel += cnt
+            take = cnt if self.want_digest else min(
+                cnt, self.lat_room - self.rec_n
+            )
+            if take > 0:
+                rec = self.rec
+                rec["t"].append(np.full(take, t, dtype=np.int64))
+                rec["s"].append(senders[del_ids[:take]])
+                rec["lat"].append(t - self.c_created[dc[:take]])
+                if self.want_digest:
+                    rec["fid"].append(self.c_fid[dc])
+                    rec["seq"].append(self.c_seq[dc])
+                    rec["src"].append(self.c_src[dc])
+                    rec["dst"].append(d[del_ids])
+                    rec["hops"].append(self.c_hops[dc])
+                self.rec_n += take
+            self.delivered_vec[recvs[del_ids]] += 1
+            fids = self.c_fid[dc]
+            self._ensure_flow(int(fids.max()))
+            fd = self.f_del[fids] + 1
+            self.f_del[fids] = fd
+            complete = fd >= self.c_fsize[dc]
+            if np.count_nonzero(complete):
+                comps = self.comps
+                for s_, f_ in zip(
+                    senders[del_ids][complete].tolist(),
+                    fids[complete].tolist(),
+                ):
+                    comps.append((t, s_, f_))
+            self._free_cells(dc)
+            fwd_ids = (~deliver).nonzero()[0]
+            if fwd_ids.size:
+                self.q_cells += fwd_ids.size
+                self._forward(cells[fwd_ids], recvs[fwd_ids], t,
+                              d[fwd_ids], emask[fwd_ids], esph)
+        elif m:
+            self.q_cells += m
+            self._forward(cells, recvs, t, d, emask, esph)
+
+    def _inject2(self, t: int) -> None:
+        pend = self.pending
+        ptr = self.pend_ptr
+        while ptr < len(pend) and pend[ptr][0] <= t:
+            _, src, dst, size_cells, _, fid = pend[ptr]
+            ptr += 1
+            self._ensure_flow(fid)
+            self.f_del[fid] = 0
+            if self.has_flow[src]:
+                self.waiting[src].append((fid, dst, 0, size_cells))
+            else:
+                self.has_flow[src] = True
+                self.cur_fid[src] = fid
+                self.cur_dst[src] = dst
+                self.cur_sent[src] = 0
+                self.cur_size[src] = size_cells
+                self.n_has_flow += 1
+        self.pend_ptr = ptr
+
+    def _tx2(self, t: int, slot: int, phase: int) -> None:
+        lo, hi = self.lo, self.hi
+        n = self.n
+        link = self.link_table[slot]
+        hloc = self.heads2d[link, lo:hi]
+        pop = hloc >= 0
+        pop_ids = pop.nonzero()[0]
+        npop = pop_ids.size
+        if npop:
+            gids = pop_ids + lo
+            c = hloc[pop_ids]
+            nh = self.c_nxt[c]
+            hloc[pop_ids] = nh
+            emt = (nh < 0).nonzero()[0]
+            if emt.size:
+                g = gids[emt]
+                self.q_tail[link][g] = link * n + g
+            self.q_len[link][gids] -= 1
+            self.q_cells -= npop
+            if self.hm1 <= 1:
+                self.c_sprays[c] = 0
+            else:
+                sp = self.c_sprays[c]
+                self.c_sprays[c] = sp - (sp > 0)
+            self.c_prev[c] = gids
+            self.c_hops[c] += 1
+        emit = self.has_flow[lo:hi] & ~pop
+        e = emit.nonzero()[0]
+        k = e.size
+        esph = (phase + 1) % self.h
+        if k:
+            ge = e + lo
+            rows = self._alloc(k)
+            V = self._ev[:, :k]
+            V[0] = ge
+            V[1] = self.cur_dst[ge]
+            V[2] = self.cur_fid[ge]
+            s = self.cur_sent[ge]
+            V[3] = s
+            V[4] = self.hm1
+            V[5] = ge
+            V[6] = t
+            V[7] = esph
+            sz = self.cur_size[ge]
+            V[8] = sz
+            V[9] = 1
+            V[10] = t
+            V[11] = -1
+            self._slab[:, rows] = V
+            s += 1
+            self.cur_sent[ge] = s
+            self.m_inj += k
+            done = s >= sz
+            if np.count_nonzero(done):
+                for gi in ge[done].tolist():
+                    queue = self.waiting[gi]
+                    if queue:
+                        fid2, dst2, sent2, size2 = queue.popleft()
+                        self.cur_fid[gi] = fid2
+                        self.cur_dst[gi] = dst2
+                        self.cur_sent[gi] = sent2
+                        self.cur_size[gi] = size2
+                    else:
+                        self.has_flow[gi] = False
+                        self.n_has_flow -= 1
+        entry = {"ents": [None] * self.K, "own": None, "trig": self._empty}
+        if npop and k:
+            cat = np.concatenate((pop_ids + lo, e + lo))
+            perm = cat.argsort(kind="stable")
+            senders = cat[perm]
+            cells = np.concatenate((c, rows))[perm]
+        elif npop:
+            senders = pop_ids + lo
+            cells = c
+        elif k:
+            senders = e + lo
+            cells = rows
+        else:
+            self.round_slots.append(entry)
+            return
+        m = senders.size
+        recvs = self.nbr[slot][senders]
+        dsts = self.c_dst[cells]
+        tmask = (self.c_sprays[cells] > 0) & (recvs != dsts)
+        if tmask.any():
+            entry["trig"] = senders[tmask]
+        ws = np.searchsorted(self.starts, recvs, side="right") - 1
+        own_mask = ws == self.k
+        if own_mask.all():
+            entry["own"] = (senders, cells)
+        else:
+            for j in range(self.K):
+                mask = ws == j
+                if not mask.any():
+                    continue
+                if j == self.k:
+                    entry["own"] = (senders[mask], cells[mask])
+                else:
+                    entry["ents"][j] = (
+                        senders[mask], self._slab[:11, cells[mask]]
+                    )
+            self._free_cells(cells[~own_mask])
+        self.m_sent += m
+        self.sent_hist.append((t, m))
+        self.sent_sum += m
+        self.round_slots.append(entry)
+
+    def _sample2(self, t: int) -> None:
+        lo, hi = self.lo, self.hi
+        q = self.q_len[:, lo:hi]
+        total_enq = q.sum(axis=0)
+        qt = q.T
+        self.windows.append({
+            "t": t,
+            "win": self.m_windel,
+            "dcum": self.m_del,
+            "icum": self.m_inj,
+            "scum": self.m_sent,
+            "net": self.m_sent - self.m_arr,
+            "queued": int(total_enq.sum()),
+            "mq": int(q.max()) if q.size else 0,
+            "mb": int(total_enq.max()) if total_enq.size else 0,
+            "pk": int(self.q_peak[:, lo:hi].max()) if q.size else 0,
+            "buf": total_enq,
+            "qnz": qt[qt > 0],
+        })
+        self.m_windel = 0
+
+    # ------------------------------------------------------------------ #
+    # the round loop and the mailbox exchange
+
+    def run_segment(self) -> dict:
+        t = self.t0
+        end = self.t_end
+        round_idx = 0
+        t_star = end
+        while t < end:
+            B = min(self.delay, end - t)
+            self.round_slots = []
+            self.round_live = []
+            for i in range(B):
+                tau = t + i
+                self.round_live.append(
+                    self._live(tau) if self.drain else True
+                )
+                slot = tau % self.epoch
+                if tau in self.trigbuf or tau in self.rxbuf:
+                    self._rx2(tau)
+                pend = self.pending
+                if self.pend_ptr < len(pend) \
+                        and pend[self.pend_ptr][0] <= tau:
+                    self._inject2(tau)
+                self._tx2(tau, slot, self.phase_table[slot])
+                if tau >= self.warmup and tau % self.interval == 0:
+                    self._sample2(tau)
+            dead_at = self._exchange(t, B, round_idx)
+            t += B
+            round_idx += 1
+            if dead_at is not None:
+                t_star = dead_at
+                break
+        return self._result(t_star, t)
+
+    def _exchange(self, r0: int, B: int, round_idx: int):
+        """Swap one round of sub-batches; returns the first globally
+        quiescent slot of the round (drain mode), else None."""
+        K = self.K
+        k = self.k
+        slots = self.round_slots
+        lives = self.round_live
+        for j in range(K):
+            if j == k:
+                continue
+            payload = [
+                (slots[i]["ents"][j], slots[i]["trig"], lives[i])
+                for i in range(B)
+            ]
+            self.mail[j].put((self.seg, round_idx, k, payload))
+        contrib: Dict[int, list] = {}
+        backlog = self.backlog
+        for src in range(K):
+            if src == k:
+                continue
+            got = backlog.pop((round_idx, src), None)
+            if got is not None:
+                contrib[src] = got
+        while len(contrib) < K - 1:
+            seg, rnd, src, payload = self.mymail.get()
+            if seg != self.seg:
+                continue
+            if rnd != round_idx:
+                backlog[(rnd, src)] = payload
+                continue
+            contrib[src] = payload
+        all_dead = [self.drain] * B
+        for i in range(B):
+            tau = r0 + i
+            arr = tau + self.delay
+            sslot = tau % self.epoch
+            subs_s: List[np.ndarray] = []
+            subs_r: List[np.ndarray] = []
+            trigs: List[np.ndarray] = []
+            for src in range(K):
+                if src == k:
+                    ent = slots[i]["own"]
+                    tg = slots[i]["trig"]
+                    lv = lives[i]
+                else:
+                    ent, tg, lv = contrib[src][i]
+                    if ent is not None:
+                        senders, cols = ent
+                        rows = self._alloc(senders.size)
+                        self._slab[:11, rows] = cols
+                        self.c_nxt[rows] = -1
+                        ent = (senders, rows)
+                if lv:
+                    all_dead[i] = False
+                if ent is not None:
+                    subs_s.append(ent[0])
+                    subs_r.append(ent[1])
+                if tg is not None and tg.size:
+                    trigs.append(tg)
+            if trigs:
+                self.trigbuf[arr] = (
+                    trigs[0] if len(trigs) == 1 else np.concatenate(trigs)
+                )
+            if subs_s:
+                senders = (
+                    subs_s[0] if len(subs_s) == 1
+                    else np.concatenate(subs_s)
+                )
+                rows = (
+                    subs_r[0] if len(subs_r) == 1
+                    else np.concatenate(subs_r)
+                )
+                self.rxbuf[arr] = (
+                    senders, rows, self.nbr[sslot][senders],
+                    (self.phase_table[sslot] + 1) % self.h,
+                )
+        if self.drain:
+            for i in range(B):
+                if all_dead[i]:
+                    return r0 + i
+        return None
+
+    # ------------------------------------------------------------------ #
+    # result gather
+
+    def _result(self, t_star: int, t_end: int) -> dict:
+        lo, hi = self.lo, self.hi
+        nxt = self.c_nxt.tolist()
+        heads = self.heads2d
+        counts = np.zeros((hi - lo, self.L), dtype=np.int64)
+        rows_all: List[int] = []
+        append = rows_all.append
+        for li in range(hi - lo):
+            i = lo + li
+            for l in range(self.L):
+                row = int(heads[l, i])
+                c0 = len(rows_all)
+                while row >= 0:
+                    append(row)
+                    row = nxt[row]
+                counts[li, l] = len(rows_all) - c0
+        ra = np.array(rows_all, dtype=np.int64)
+        rec = {
+            name: (
+                np.concatenate(chunks) if chunks else
+                np.empty(0, dtype=np.int64)
+            )
+            for name, chunks in self.rec.items()
+        }
+        wire = []
+        for arr in sorted(self.rxbuf):
+            senders, rows, recvs, _ = self.rxbuf[arr]
+            wire.append((arr, senders, self._slab[:11, rows], recvs))
+        fid_nz = np.flatnonzero(self.f_del[: self.f_cap])
+        return {
+            "queues": {
+                "counts": counts,
+                "peaks": self.q_peak[:, lo:hi].T.copy(),
+                "cols": (
+                    self._slab[:11, ra] if ra.size
+                    else np.empty((11, 0), dtype=np.int64)
+                ),
+            },
+            "cursor": {
+                "has": self.has_flow[lo:hi].copy(),
+                "fid": self.cur_fid[lo:hi].copy(),
+                "dst": self.cur_dst[lo:hi].copy(),
+                "sent": self.cur_sent[lo:hi].copy(),
+                "size": self.cur_size[lo:hi].copy(),
+                "waiting": [
+                    list(self.waiting[i]) for i in range(lo, hi)
+                ],
+            },
+            "fdel": [
+                (int(f), int(self.f_del[f])) for f in fid_nz.tolist()
+            ],
+            "dvec": self.delivered_vec[lo:hi].copy(),
+            "rec": rec,
+            "comps": self.comps,
+            "windows": self.windows,
+            "final": {
+                "dcum": self.m_del,
+                "icum": self.m_inj,
+                "scum": self.m_sent,
+                "net": self.m_sent - self.m_arr,
+                "maxq": self.engine.metrics.max_queue_length,
+                "windel": self.m_windel,
+            },
+            "wire": wire,
+            "words": self.words_consumed,
+            "t_star": t_star,
+        }
+
+
+def _shard_worker_main(idx, count, task_queue, result_queue, mail_queues):
+    """Entry point of one persistent shard worker process."""
+    tables_cache: Dict[Any, dict] = {}
+    while True:
+        msg = task_queue.get()
+        if msg is None:
+            return
+        _, segment, task = msg
+        try:
+            key = task["tables_key"]
+            shipped = task.get("tables")
+            if shipped is not None:
+                tables = dict(shipped)
+                tables["qt"] = build_hop_tables(
+                    tables["n"], tables["h"], tables["r"]
+                )
+                tables_cache[key] = tables
+            task["seg"] = segment
+            run = _WorkerRun(
+                idx, count, tables_cache[key], task, mail_queues
+            )
+            result_queue.put((idx, segment, "ok", run.run_segment()))
+        except Exception:
+            result_queue.put(
+                (idx, segment, "error", traceback.format_exc())
+            )
+
+
+@register_backend("shard")
+class ShardBackend(EngineBackend):
+    """Multi-process sharded stepper with per-state fallback.
+
+    Scatter/gather happens once per ``step_slots``/``drain_slots``
+    segment, not per slot: the parent packs the object model into
+    per-shard column payloads, the workers advance in lockstep rounds,
+    and the parent replays the results back into the authoritative
+    object model (see the module docstring for the protocol).  States
+    the vector stepper cannot accelerate fall back to the reference
+    pipeline exactly as ``"vector"`` does; configurations where sharding
+    cannot pay (one shard, zero propagation delay, no ``fork``) run on
+    the in-process vector stepper instead — still accelerated, so
+    ``backend_effective`` stays ``"shard"`` and manifests remain
+    shard-count-invariant.
+    """
+
+    __slots__ = ("_inner", "dispatches")
+
+    def __init__(self) -> None:
+        self._inner = VectorBackend()
+        #: pool segments dispatched (observability + tests' engage guard)
+        self.dispatches = 0
+
+    # -------------------------------------------------------------- #
+    # driver
+
+    def _reference(self, engine, end, step, drain) -> None:
+        if drain:
+            while engine.t < end and (
+                engine._pending_flows
+                or engine.flows.active_count
+                or engine._in_flight_payload
+            ):
+                step()
+        else:
+            while engine.t < end:
+                step()
+
+    def _run(self, engine, end: int, step, drain: bool) -> None:
+        if engine.t >= end:
+            return
+        if drain and not (
+            engine._pending_flows
+            or engine.flows.active_count
+            or engine._in_flight_payload
+        ):
+            return
+        reason = _fast_ineligible_reason(engine)
+        if reason is not None:
+            engine.note_backend_effective("object", reason)
+            self._reference(engine, end, step, drain)
+            return
+        cfg = engine.config
+        ranges = shard_ranges(cfg.n, engine.coords.r, default_shards())
+        if len(ranges) < 2 or cfg.propagation_delay < 1:
+            # nothing to shard over (or no lockstep window): run the
+            # in-process vector stepper — still accelerated, so this is
+            # not a reference fallback and backend_effective is unchanged
+            self._inner._run(engine, end, step, drain)
+            return
+        try:
+            pool = get_shard_pool(len(ranges), _shard_worker_main)
+        except (ImportError, OSError, ValueError):
+            self._inner._run(engine, end, step, drain)
+            return
+        metrics = engine.metrics
+        if not metrics._measuring and engine.t < metrics.warmup < end:
+            # split at the warm-up boundary so the measurement crossing
+            # (a per-slot check in the single-process loop) happens
+            # between segments, at exactly the same slot
+            segments = [metrics.warmup, end]
+        else:
+            segments = [end]
+            if not metrics._measuring and engine.t >= metrics.warmup:
+                metrics.begin_measurement()
+                if engine.telemetry is not None:
+                    engine.telemetry.resnapshot(metrics)
+        for si, seg_end in enumerate(segments):
+            if si:
+                # the crossing mirrors the single-process slot order:
+                # the drain predicate is re-tested first, because a run
+                # that drains at the boundary breaks *before* crossing
+                if drain and not (
+                    engine._pending_flows
+                    or engine.flows.active_count
+                    or engine._in_flight_payload
+                ):
+                    return
+                metrics.begin_measurement()
+                if engine.telemetry is not None:
+                    engine.telemetry.resnapshot(metrics)
+            if engine.t >= seg_end:
+                continue
+            profiler = engine.profiler
+            if profiler is None:
+                self._segment(engine, seg_end, step, drain, ranges, pool)
+            else:
+                w0 = profiler.clock()
+                self._segment(engine, seg_end, step, drain, ranges, pool)
+                profiler.add(0.0, 0.0, 0.0, profiler.clock() - w0, 0.0, 0.0)
+
+    def step_slots(self, engine, end: int, step) -> None:
+        self._run(engine, end, step, drain=False)
+
+    def drain_slots(self, engine, deadline: int, step) -> None:
+        self._run(engine, deadline, step, drain=True)
+
+    # -------------------------------------------------------------- #
+    # one scatter -> lockstep -> gather segment
+
+    def _segment(self, engine, end, step, drain, ranges, pool) -> None:
+        scat = self._scatter(engine, engine.t, end, drain, ranges)
+        if scat is None:
+            # per-cell disqualification (headers the column layout cannot
+            # carry): the inner vector backend re-derives the reason and
+            # notes the de-acceleration itself
+            self._inner._run(engine, end, step, drain)
+            return
+        tasks, init, rngpay = scat
+        key = tasks[0]["tables_key"]
+        results = None
+        for attempt in range(2):
+            if not pool.alive():
+                pool.respawn()
+            tables = None
+            if key not in pool.shipped_tables:
+                tables = self._tables_payload(engine)
+            for task in tasks:
+                task["tables"] = tables
+            try:
+                results = pool.run_segment(tasks)
+                pool.shipped_tables.add(key)
+                break
+            except ShardWorkerError:
+                pool.respawn()
+                raise
+            except ShardCrash:
+                # the scatter was read-only, so the engine still holds
+                # the authoritative pre-segment state: respawn and retry
+                # the identical segment once, then fall back in-process
+                pool.respawn()
+                if attempt:
+                    self._inner._run(engine, end, step, drain)
+                    return
+        self._apply(engine, results, ranges, init, rngpay, engine.t, drain)
+        self.dispatches += 1
+
+    def _tables_payload(self, engine) -> dict:
+        nbr, link_table, _ = self._inner._tables(engine)
+        cfg = engine.config
+        schedule = engine.schedule
+        return {
+            "n": cfg.n,
+            "h": cfg.h,
+            "r": engine.coords.r,
+            "delay": cfg.propagation_delay,
+            "epoch": schedule.epoch_length,
+            "phase_table": list(schedule.phase_table),
+            "link_table": list(link_table),
+            "nbr": nbr,
+        }
+
+    # -------------------------------------------------------------- #
+    # scatter: object model -> per-shard column payloads (read-only)
+
+    def _scatter(self, engine, t0, end, drain, ranges):
+        rngpay = _rng_state_payload(engine.rng)
+        if rngpay is None:
+            return None
+        cfg = engine.config
+        n = cfg.n
+        K = len(ranges)
+        metrics = engine.metrics
+        flows = engine.flows
+        L = cfg.h * (engine.coords.r - 1)
+        shard_of = np.empty(n, dtype=np.int64)
+        for k, (lo, hi) in enumerate(ranges):
+            shard_of[lo:hi] = k
+        shard_of_l = shard_of.tolist()
+
+        def cell_row(cell):
+            return (
+                cell.src, cell.dst, cell.flow_id, cell.seq,
+                cell.sprays_remaining, cell.prev_hop, cell.created_at,
+                cell.spray_phase, cell.flow_size, cell.hops,
+                cell.enqueued_at,
+            )
+
+        queues = []
+        cursors = []
+        for lo, hi in ranges:
+            counts = np.zeros((hi - lo, L), dtype=np.int64)
+            peaks = np.zeros((hi - lo, L), dtype=np.int64)
+            rows: List[tuple] = []
+            has = np.zeros(hi - lo, dtype=bool)
+            cfid = np.zeros(hi - lo, dtype=np.int64)
+            cdst = np.zeros(hi - lo, dtype=np.int64)
+            csent = np.zeros(hi - lo, dtype=np.int64)
+            csize = np.zeros(hi - lo, dtype=np.int64)
+            waitlists = []
+            for li in range(hi - lo):
+                node = engine.nodes[lo + li]
+                for l, queue in enumerate(node.link_queues):
+                    items = queue._items
+                    counts[li, l] = len(items)
+                    peaks[li, l] = queue.peak_occupancy
+                    for cell in items:
+                        if cell.dummy or cell.spray_phase < 0:
+                            return None
+                        rows.append(cell_row(cell))
+                live = [
+                    f for f in node.local_flows if f.sent < f.size_cells
+                ]
+                wl: List[tuple] = []
+                if live:
+                    cursor = live[0]
+                    has[li] = True
+                    cfid[li] = cursor.flow_id
+                    cdst[li] = cursor.dst
+                    csent[li] = cursor.sent
+                    csize[li] = cursor.size_cells
+                    wl = [
+                        (f.flow_id, f.dst, f.sent, f.size_cells)
+                        for f in live[1:]
+                    ]
+                waitlists.append(wl)
+            queues.append({
+                "counts": counts,
+                "peaks": peaks,
+                "cols": (
+                    np.array(rows, dtype=np.int64).T if rows
+                    else np.empty((11, 0), dtype=np.int64)
+                ),
+            })
+            cursors.append({
+                "has": has, "fid": cfid, "dst": cdst,
+                "sent": csent, "size": csize, "waiting": waitlists,
+            })
+        # the wire, grouped into per-arrival batches and split by the
+        # receiver's shard; the global trigger list (ascending senders of
+        # draw-consuming cells) ships to every shard
+        batches: List[tuple] = []
+        cur = None
+        for tx in engine._in_flight:
+            cell = tx.cell
+            if tx.tokens or tx.ctrl or cell is None or cell.dummy \
+                    or cell.spray_phase < 0:
+                return None
+            if cur is None or tx.arrival != cur[0]:
+                cur = (tx.arrival, [], [], [])
+                batches.append(cur)
+            cur[1].append(tx.sender)
+            cur[2].append(cell_row(cell))
+            cur[3].append(tx.receiver)
+        wire: List[list] = [[] for _ in range(K)]
+        wire_trig: List[tuple] = []
+        for arr, sl, rl, vl in batches:
+            senders = np.array(sl, dtype=np.int64)
+            if senders.size > 1 and np.any(np.diff(senders) <= 0):
+                return None  # non-FIFO wire order: not shardable
+            cols = np.array(rl, dtype=np.int64).T
+            recvs = np.array(vl, dtype=np.int64)
+            spraying = cols[4] > 0
+            trig = senders[spraying & (recvs != cols[1])]
+            if trig.size:
+                wire_trig.append((arr, trig))
+            esph = int(cols[7][spraying.nonzero()[0][0]]) \
+                if spraying.any() else 0
+            ws = shard_of[recvs]
+            for k in range(K):
+                mask = ws == k
+                if mask.any():
+                    wire[k].append(
+                        (arr, senders[mask], cols[:, mask],
+                         recvs[mask], esph)
+                    )
+        # pending flow arrivals, bucketed by source shard with their
+        # flow ids precomputed from the global injection order
+        pend: List[list] = [[] for _ in range(K)]
+        next_id = flows._next_id
+        for off, entry in enumerate(engine._pending_flows):
+            arrival, src, dst, size_cells, size_bytes = entry
+            pend[shard_of_l[src]].append(
+                (arrival, src, dst, size_cells, size_bytes,
+                 next_id + off)
+            )
+        # per-flow delivered preloads go to the destination's shard only,
+        # so every worker report is authoritative for its flows
+        fdel: List[list] = [[] for _ in range(K)]
+        for fid, flow in flows._active.items():
+            if flow.delivered:
+                fdel[shard_of_l[flow.dst]].append((fid, flow.delivered))
+        lat_room = max(
+            0, metrics._cell_latency_cap - len(metrics.cell_latencies)
+        )
+        tables_key = (
+            getattr(cfg, "schedule", ""), n, cfg.h, engine.coords.r,
+            cfg.propagation_delay,
+        )
+        tasks = []
+        for k in range(K):
+            tasks.append({
+                "t0": t0, "t1": end, "drain": drain,
+                "warmup": metrics.warmup,
+                "interval": metrics.sample_interval,
+                "lat_room": lat_room,
+                "digest": engine.digest is not None,
+                "ranges": ranges,
+                "rng": rngpay,
+                "tables_key": tables_key,
+                "queues": queues[k],
+                "cursor": cursors[k],
+                "wire": wire[k],
+                "wire_trig": wire_trig,
+                "pending": pend[k],
+                "fdel": fdel[k],
+            })
+        init = {
+            "delivered": metrics.cells_delivered,
+            "pdelivered": metrics.payload_cells_delivered,
+            "injected": metrics.cells_injected,
+            "sent": metrics.cells_sent,
+            "ifp": engine._in_flight_payload,
+            "maxq": metrics.max_queue_length,
+        }
+        return tasks, init, rngpay
+
+    # -------------------------------------------------------------- #
+    # gather: worker results -> authoritative object model
+
+    def _apply(self, engine, results, ranges, init, rngpay, t0, drain):
+        metrics = engine.metrics
+        flows = engine.flows
+        events = engine.events
+        digest = engine.digest
+        telemetry = engine.telemetry
+        K = len(ranges)
+        t_star = results[0]["t_star"]
+        words = results[0]["words"]
+        for res in results[1:]:
+            if res["t_star"] != t_star or res["words"] != words:
+                raise AssertionError(
+                    "shard workers diverged (stop slot / RNG words)"
+                )
+        # delivery records, merged back into global batch order: within
+        # a slot batches are ascending-sender, so (t, sender) sorts the
+        # per-worker record streams into the single-process fold order
+        rec_t = np.concatenate([r["rec"]["t"] for r in results])
+        rec_s = np.concatenate([r["rec"]["s"] for r in results])
+        rec_lat = np.concatenate([r["rec"]["lat"] for r in results])
+        order = np.lexsort((rec_s, rec_t))
+        if digest is not None and order.size:
+            fold = digest._fold
+            cols = [
+                np.concatenate([r["rec"][name] for r in results])[order]
+                for name in ("fid", "seq", "src", "dst", "hops")
+            ]
+            for fid, seq, src, dst, hops, t in zip(
+                cols[0].tolist(), cols[1].tolist(), cols[2].tolist(),
+                cols[3].tolist(), cols[4].tolist(),
+                rec_t[order].tolist(),
+            ):
+                fold((_EV_DELIVERY, fid, seq, src, dst, hops, t))
+        latencies = metrics.cell_latencies
+        cap = metrics._cell_latency_cap
+        room = cap - len(latencies)
+        if room > 0 and order.size:
+            lats = rec_lat[order]
+            latencies.extend(
+                lats.tolist() if room >= lats.size
+                else lats[:room].tolist()
+            )
+        # flow completions (ascending (t, sender) restores the in-batch
+        # finalize order), injections and sample windows replay in one
+        # time-ordered sweep with the single-process within-slot order:
+        # completions, then injections, then the window close
+        comps = sorted(c for r in results for c in r["comps"])
+        pending = engine._pending_flows
+        injections = []
+        while pending:
+            arrival = pending[0][0]
+            t_inj = arrival if arrival > t0 else t0
+            if t_inj >= t_star:
+                break
+            injections.append((t_inj,) + tuple(pending.popleft()))
+        win_rows: Dict[int, list] = {}
+        for k, res in enumerate(results):
+            for row in res["windows"]:
+                win_rows.setdefault(row["t"], [None] * K)[k] = row
+        win_ts = sorted(win_rows)
+        sweep_ts = sorted(
+            {c[0] for c in comps}
+            | {i[0] for i in injections}
+            | {t for t in win_ts if t < t_star}
+        )
+        ci = ii = 0
+        dropped_win = sum(
+            row["win"]
+            for t in win_ts if t >= t_star
+            for row in win_rows[t]
+        )
+        for t in sweep_ts:
+            while ci < len(comps) and comps[ci][0] == t:
+                _, _, fid = comps[ci]
+                ci += 1
+                flow = flows._active.get(fid)
+                if flow is None:
+                    continue
+                flow.delivered = flow.size_cells
+                record = flows.finalize(flow, t)
+                if events is not None:
+                    events.emit(t, "flow_end", {
+                        "flow": record.flow_id, "src": record.src,
+                        "dst": record.dst, "cells": record.size_cells,
+                        "fct": record.fct,
+                    })
+            while ii < len(injections) and injections[ii][0] == t:
+                _, arrival, src, dst, size_cells, size_bytes = \
+                    injections[ii]
+                ii += 1
+                flow = flows.new_flow(
+                    src, dst, size_cells, arrival, size_bytes=size_bytes
+                )
+                if events is not None:
+                    events.emit(t, "flow_start", {
+                        "flow": flow.flow_id, "src": src, "dst": dst,
+                        "cells": size_cells,
+                    })
+            rows = win_rows.get(t)
+            if rows is None or t >= t_star:
+                continue
+            if any(r is None for r in rows):
+                raise AssertionError("shard sample windows diverged")
+            metrics.cells_delivered = init["delivered"] + sum(
+                r["dcum"] for r in rows
+            )
+            metrics.payload_cells_delivered = init["pdelivered"] + sum(
+                r["dcum"] for r in rows
+            )
+            metrics.cells_injected = init["injected"] + sum(
+                r["icum"] for r in rows
+            )
+            metrics.cells_sent = init["sent"] + sum(
+                r["scum"] for r in rows
+            )
+            engine._in_flight_payload = init["ifp"] + sum(
+                r["net"] for r in rows
+            )
+            for r in rows:
+                metrics._buffer_samples.extend(r["buf"])
+            mb = max(r["mb"] for r in rows)
+            if mb > metrics.max_buffer_occupancy:
+                metrics.max_buffer_occupancy = mb
+            for r in rows:
+                metrics._queue_samples.extend(r["qnz"])
+            pk = max(r["pk"] for r in rows)
+            if pk > metrics.max_pieo_length:
+                metrics.max_pieo_length = pk
+            metrics._window_delivered += sum(r["win"] for r in rows)
+            metrics.end_sample_window()
+            if telemetry is not None:
+                telemetry.on_window_stats(
+                    engine, t,
+                    queued=sum(r["queued"] for r in rows),
+                    max_queue=max(r["mq"] for r in rows),
+                    max_buffer=mb,
+                    active_buckets=0,
+                )
+        # final counters and maxima.  The buffer/PIEO maxima come only
+        # from the replayed (valid) windows above — worker-side cumulative
+        # peaks may include overrun slots past the quiescent stop —
+        # while max_queue_length is enqueue-driven and overrun slots
+        # provably enqueue nothing, so the worker cums are exact.
+        finals = [r["final"] for r in results]
+        metrics.cells_delivered = init["delivered"] + sum(
+            f["dcum"] for f in finals
+        )
+        metrics.payload_cells_delivered = init["pdelivered"] + sum(
+            f["dcum"] for f in finals
+        )
+        metrics.cells_injected = init["injected"] + sum(
+            f["icum"] for f in finals
+        )
+        metrics.cells_sent = init["sent"] + sum(f["scum"] for f in finals)
+        engine._in_flight_payload = init["ifp"] + sum(
+            f["net"] for f in finals
+        )
+        maxq = max(init["maxq"], max(f["maxq"] for f in finals))
+        if maxq > metrics.max_queue_length:
+            metrics.max_queue_length = maxq
+        metrics._window_delivered += dropped_win + sum(
+            f["windel"] for f in finals
+        )
+        per_node = metrics.delivered_per_node
+        for k, res in enumerate(results):
+            lo = ranges[k][0]
+            for i, v in enumerate(res["dvec"].tolist()):
+                if v:
+                    per_node[lo + i] = per_node.get(lo + i, 0) + v
+        for res in results:
+            for fid, delivered in res["fdel"]:
+                flow = flows._active.get(fid)
+                if flow is not None:
+                    flow.delivered = delivered
+        # queues, cursors and the active set
+        engine._active_ids.clear()
+        placed = set()
+        for k, res in enumerate(results):
+            lo, hi = ranges[k]
+            q = res["queues"]
+            made = _cells_from_cols(q["cols"])
+            counts = q["counts"].tolist()
+            peaks = q["peaks"].tolist()
+            cur = res["cursor"]
+            has_l = cur["has"].tolist()
+            fid_l = cur["fid"].tolist()
+            sent_l = cur["sent"].tolist()
+            pos = 0
+            for li in range(hi - lo):
+                node = engine.nodes[lo + li]
+                per_link = []
+                for cnt in counts[li]:
+                    per_link.append(made[pos:pos + cnt])
+                    pos += cnt
+                node.absorb_shard_state(per_link, peaks[li])
+                local = []
+                if has_l[li]:
+                    flow = flows._active[fid_l[li]]
+                    flow.sent = sent_l[li]
+                    local.append(flow)
+                    placed.add(fid_l[li])
+                for wfid, _, wsent, _ in cur["waiting"][li]:
+                    flow = flows._active[wfid]
+                    flow.sent = wsent
+                    local.append(flow)
+                    placed.add(wfid)
+                node.local_flows = local
+                if local or node.total_enqueued:
+                    engine._active_ids.add(lo + li)
+        # every other active flow has finished sending (it is held by no
+        # cursor or waiting list), so its cursor position is its size
+        for fid, flow in flows._active.items():
+            if fid not in placed:
+                flow.sent = flow.size_cells
+        # the wire: leftover arrival batches, re-merged in send order
+        in_flight = engine._in_flight
+        in_flight.clear()
+        ents = []
+        for res in results:
+            for arr, senders, cols, recvs in res["wire"]:
+                for s, r, cell in zip(
+                    senders.tolist(), recvs.tolist(),
+                    _cells_from_cols(cols),
+                ):
+                    ents.append((arr, s, r, cell))
+        ents.sort(key=lambda e: (e[0], e[1]))
+        for arr, s, r, cell in ents:
+            tx = Transmission(s, r, cell, (), ())
+            tx.arrival = arr
+            in_flight.append(tx)
+        _resync_engine_rng(engine, rngpay, words)
+        engine.t = t_star

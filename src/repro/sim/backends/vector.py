@@ -59,24 +59,32 @@ _SLAB_COLS = (
 _EV_DELIVERY = 1  # DeterminismDigest delivery tag (see repro.sim.digest)
 
 
-def _fast_eligible(engine) -> bool:
-    """Cheap checks that the engine state is vectorizable.
+def _fast_ineligible_reason(engine):
+    """Why the engine state is not vectorizable, or None if it is.
 
     Per-cell conditions (header tokens, dummies, unset spray hints) are
     verified during packing; this covers everything visible without
-    walking queues.
+    walking queues.  The reason string feeds the de-acceleration notice
+    (``Engine.note_backend_effective``), so it names the feature that
+    forced the reference pipeline.
     """
     cfg = engine.config
-    if cfg.congestion_control != "none" or cfg.routing != "vlb":
-        return False
-    if engine.failure_manager is not None or engine.monitor is not None:
-        return False
-    if engine.tracer is not None or engine.delivery_hook is not None:
-        return False
+    if cfg.congestion_control != "none":
+        return f"congestion_control={cfg.congestion_control!r}"
+    if cfg.routing != "vlb":
+        return f"routing={cfg.routing!r}"
+    if engine.failure_manager is not None:
+        return "failure manager attached"
+    if engine.monitor is not None:
+        return "monitor attached"
+    if engine.tracer is not None:
+        return "tracer attached"
+    if engine.delivery_hook is not None:
+        return "delivery hook attached"
     if engine.force_full_scan or engine.failed_links:
-        return False
+        return "failed links present"
     if type(engine.rng) is not random.Random:
-        return False
+        return "non-standard RNG"
     for node in engine.nodes:
         if (
             node.failed
@@ -88,8 +96,51 @@ def _fast_eligible(engine) -> bool:
             or node.pending_ctrl
             or node.rtx_queue
         ):
-            return False
-    return True
+            return f"node {node.node_id} carries non-vectorizable state"
+    return None
+
+
+def _fast_eligible(engine) -> bool:
+    """Cheap checks that the engine state is vectorizable."""
+    return _fast_ineligible_reason(engine) is None
+
+
+def build_hop_tables(n: int, h: int, r: int):
+    """The h=2 flat next-hop tables ``(qsel, nsel)``, or None.
+
+    Indexed ``phase * n**2 + receiver * n + dst``: ``qsel`` holds
+    ``link_index * n`` for the direct hop out of ``receiver`` toward
+    ``dst`` at ``phase`` (or the other phase's when that digit already
+    matches) and ``nsel`` the spray-phase hint for the next hop.  None for
+    other ``h`` and for sizes where the 2*n**2 tables stop paying for
+    themselves.  Shared by the vector backend and the shard workers (each
+    worker rebuilds them locally instead of shipping 2*n**2 entries).
+    """
+    if h != 2 or 2 * n * n > 8_000_000:
+        return None
+    rm1 = r - 1
+    ids = np.arange(n, dtype=np.int64)
+    qbase = []
+    match = []
+    for p in (0, 1):
+        digit = (ids // r ** (h - 1 - p)) % r
+        off = (digit[None, :] - digit[:, None]) % r
+        qbase.append(((p * rm1 + off - 1) * n).reshape(-1))
+        match.append((off == 0).reshape(-1))
+    nn = n * n
+    qsel = np.empty(2 * nn, dtype=np.int64)
+    nsel = np.empty(2 * nn, dtype=np.int64)
+    for p in (0, 1):
+        # a cell hinted at phase p takes phase p when that digit
+        # mismatches, else the other phase (it cannot be home:
+        # matched-everywhere cells get delivered, not forwarded); the
+        # stored hint for the NEXT hop is the phase it did not take
+        take_other = match[p]
+        qsel[p * nn:(p + 1) * nn] = np.where(
+            take_other, qbase[p ^ 1], qbase[p]
+        )
+        nsel[p * nn:(p + 1) * nn] = np.where(take_other, p, p ^ 1)
+    return qsel, nsel
 
 
 class _VectorRun:
@@ -974,30 +1025,7 @@ class VectorBackend(EngineBackend):
             for s in range(schedule.epoch_length):
                 link = link_table[s]
                 nbr[s] = [node.neighbors_flat[link] for node in engine.nodes]
-            if h == 2 and 2 * n * n <= 8_000_000:
-                ids = np.arange(n, dtype=np.int64)
-                qbase = []
-                match = []
-                for p in (0, 1):
-                    digit = (ids // r ** (h - 1 - p)) % r
-                    off = (digit[None, :] - digit[:, None]) % r
-                    qbase.append(((p * rm1 + off - 1) * n).reshape(-1))
-                    match.append((off == 0).reshape(-1))
-                nn = n * n
-                qsel = np.empty(2 * nn, dtype=np.int64)
-                nsel = np.empty(2 * nn, dtype=np.int64)
-                for p in (0, 1):
-                    # a cell hinted at phase p takes phase p when that
-                    # digit mismatches, else the other phase (it cannot be
-                    # home: matched-everywhere cells get delivered, not
-                    # forwarded); the stored hint for the NEXT hop is the
-                    # phase it did not take
-                    take_other = match[p]
-                    qsel[p * nn:(p + 1) * nn] = np.where(
-                        take_other, qbase[p ^ 1], qbase[p]
-                    )
-                    nsel[p * nn:(p + 1) * nn] = np.where(take_other, p, p ^ 1)
-                self._qt = (qsel, nsel)
+            self._qt = build_hop_tables(n, h, r)
             self._link_table = link_table
             self._nbr = nbr
         return self._nbr, self._link_table, self._qt
@@ -1011,13 +1039,16 @@ class VectorBackend(EngineBackend):
             or engine._in_flight_payload
         ):
             return
-        if _fast_eligible(engine):
+        reason = _fast_ineligible_reason(engine)
+        if reason is None:
             nbr, link_table, qt = self._tables(engine)
             run = _VectorRun(engine, nbr, link_table, qt)
             if run.pack():
                 run.advance(end, drain)
                 run.unpack()
                 return
+            reason = "queued cells carry non-vectorizable headers"
+        engine.note_backend_effective("object", reason)
         # reference fallback: states the stepper does not accelerate.
         # Without a failure manager nothing can change eligibility
         # mid-segment, and with one the segment is ineligible throughout,

@@ -28,6 +28,13 @@ Correctness properties:
 Cell kwargs must be plain data (they already have to be picklable to cross
 process boundaries); unknown objects fall back to ``repr`` in the key,
 which is deterministic for value-like objects only.
+
+The worker-pool *shard count* (``repro.sim.backends.default_shards``) is
+deliberately **not** part of the key: the ``"shard"`` backend is bit-exact
+with single-process execution for every shard count, so a cell computed at
+``--shards 4`` must (and does) satisfy a later ``--shards 1`` run and vice
+versa.  ``tests/test_shard_backend.py`` pins this with a key-equality
+test across shard counts.
 """
 
 from __future__ import annotations

@@ -54,6 +54,7 @@ __all__ = [
     "CheckpointWriter",
     "CellScope",
     "apply_checkpoint",
+    "compose_checkpoint",
     "default_policy",
     "load_checkpoint",
     "load_checkpoint_or_none",
@@ -61,6 +62,7 @@ __all__ = [
     "save_checkpoint",
     "set_default_policy",
     "snapshot_engine",
+    "split_checkpoint",
 ]
 
 #: bump on any change to the payload layout; old files self-heal as misses
@@ -298,6 +300,99 @@ def apply_checkpoint(engine, checkpoint: Checkpoint) -> None:
     engine._loops_entered = 0
     engine._resume = (None if state["loop"] is None
                       else tuple(state["loop"]))
+
+
+def split_checkpoint(checkpoint: Checkpoint, count: int) -> List[Checkpoint]:
+    """Split one snapshot into ``count`` per-shard parts.
+
+    Node state is partitioned along the same phase-group boundaries the
+    ``"shard"`` backend uses (:func:`repro.sim.backends.shard.shard_ranges`),
+    so each part holds exactly the nodes one shard worker owns; part 0
+    additionally carries the run-global remainder (RNG, flow table, metrics,
+    wire, observers).  Parts are ordinary :class:`Checkpoint` objects —
+    :func:`save_checkpoint` / :func:`load_checkpoint` work on each — and
+    :func:`compose_checkpoint` reassembles the original snapshot bit-exactly,
+    so a sharded run can persist each shard's slice independently and still
+    resume as one run.
+    """
+    if checkpoint.version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {checkpoint.version} != {CHECKPOINT_VERSION}"
+        )
+    from .backends.shard import shard_ranges
+
+    config = checkpoint.config
+    r = round(config.n ** (1.0 / config.h))
+    ranges = shard_ranges(config.n, r, int(count))
+    state = checkpoint.state
+    nodes = state["nodes"]
+    if len(nodes) != config.n:
+        raise CheckpointError(
+            f"snapshot holds {len(nodes)} node states for n={config.n}"
+        )
+    rest = {key: value for key, value in state.items() if key != "nodes"}
+    parts: List[Checkpoint] = []
+    for k, (lo, hi) in enumerate(ranges):
+        part_state: Dict[str, object] = {
+            "t": state["t"],
+            "shard": (k, len(ranges), lo, hi),
+            "nodes": nodes[lo:hi],
+        }
+        if k == 0:
+            part_state["rest"] = rest
+        parts.append(Checkpoint(CHECKPOINT_VERSION, config, part_state))
+    return parts
+
+
+def compose_checkpoint(parts: List[Checkpoint]) -> Checkpoint:
+    """Reassemble :func:`split_checkpoint` parts into one snapshot.
+
+    Validates that the parts share a version, config and timeslot, that
+    their node ranges tile ``[0, n)`` exactly, and that the run-global
+    remainder is present; any gap, overlap or mixture raises
+    :class:`CheckpointError` rather than composing a corrupt resume point.
+    """
+    if not parts:
+        raise CheckpointError("no checkpoint shards to compose")
+    ordered = sorted(parts, key=lambda p: p.state["shard"][2])
+    config = ordered[0].config
+    t = ordered[0].state["t"]
+    total = ordered[0].state["shard"][1]
+    if len(ordered) != total:
+        raise CheckpointError(
+            f"have {len(ordered)} checkpoint shards of {total}"
+        )
+    rest: Optional[Dict[str, object]] = None
+    nodes: List[object] = []
+    cursor = 0
+    for part in ordered:
+        if part.version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint shard version {part.version} != "
+                f"{CHECKPOINT_VERSION}"
+            )
+        if part.config != config or part.state["t"] != t:
+            raise CheckpointError(
+                "checkpoint shards come from different runs"
+            )
+        _, k_total, lo, hi = part.state["shard"]
+        if (k_total != total or lo != cursor
+                or len(part.state["nodes"]) != hi - lo):
+            raise CheckpointError(
+                "checkpoint shards do not tile the node space"
+            )
+        nodes.extend(part.state["nodes"])
+        cursor = hi
+        if "rest" in part.state:
+            rest = part.state["rest"]
+    if cursor != config.n or rest is None:
+        raise CheckpointError(
+            "checkpoint shards are incomplete (missing nodes or the "
+            "run-global remainder)"
+        )
+    state = dict(rest)
+    state["nodes"] = nodes
+    return Checkpoint(CHECKPOINT_VERSION, config, state)
 
 
 def restore_engine(checkpoint: Checkpoint):

@@ -151,9 +151,39 @@ class Engine:
         #: run/drain loops; the object model stays authoritative between
         #: backend calls, so observers and manual step() always work
         self.backend = make_backend(config.backend)
+        #: the pipeline that actually ran: starts as the configured backend
+        #: name and is downgraded (sticky, with a one-line stderr notice) by
+        #: note_backend_effective() when an accelerated backend falls back
+        #: to the reference pipeline — so manifests record the truth instead
+        #: of a silent de-acceleration
+        self.backend_effective: str = self.backend.backend_name
+        self._fallback_noted = False
         if _construction_hooks:
             for hook in _construction_hooks:
                 hook(self)
+
+    def note_backend_effective(self, name: str, reason: str = "") -> None:
+        """Record that the slot loop ran as ``name`` (e.g. ``"object"``).
+
+        Called by accelerated backends when they fall back to the reference
+        pipeline.  Emits a single stderr notice per engine so a silently
+        de-accelerated run is visible, and records the effective name for
+        the run manifest.  Downgrades are sticky: once any segment of a run
+        fell back, the manifest says so even if later segments re-engage.
+        """
+        if name == self.backend.backend_name:
+            return
+        self.backend_effective = name
+        if not self._fallback_noted:
+            self._fallback_noted = True
+            import sys
+
+            why = f" ({reason})" if reason else ""
+            print(
+                f"[repro] backend {self.backend.backend_name!r} fell back "
+                f"to {name!r} pipeline{why}",
+                file=sys.stderr,
+            )
 
     def enable_profiler(self):
         """Attach (and return) a step profiler; see repro.obs.profiler.

@@ -1302,6 +1302,27 @@ class Node:
         self._active.add(self.node_id)
 
     # ------------------------------------------------------------------ #
+    # shard-backend receive hook
+
+    def absorb_shard_state(self, per_link_cells, per_link_peaks) -> None:
+        """Install gathered queue contents from a shard worker, in place.
+
+        ``per_link_cells`` holds one FIFO-ordered cell list per link index
+        and ``per_link_peaks`` the matching peak occupancies.  The queues'
+        backing lists are aliased by this node's TX caches, so they are
+        mutated in place, never rebound — the boundary-crossing receive
+        side of the ``"shard"`` backend (see repro.sim.backends.shard).
+        """
+        total = 0
+        for queue, cells, peak in zip(
+            self.link_queues, per_link_cells, per_link_peaks
+        ):
+            queue._items[:] = cells
+            queue.peak_occupancy = peak
+            total += len(cells)
+        self.total_enqueued = total
+
+    # ------------------------------------------------------------------ #
     # checkpoint support
 
     def state_dict(self) -> dict:

@@ -48,6 +48,7 @@ On top of plain dispatch the sweep provides:
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import sys
@@ -57,7 +58,9 @@ from contextlib import ExitStack, contextmanager
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["sweep", "sweep_cells", "default_workers", "CellOutcome",
-           "default_cell_retries", "set_default_cell_retries"]
+           "default_cell_retries", "set_default_cell_retries",
+           "ShardPool", "ShardCrash", "ShardWorkerError",
+           "get_shard_pool", "shutdown_shard_pools"]
 
 #: ambient crash-retry budget for worker cells (runner: ``--cell-retries``)
 _default_cell_retries = 1
@@ -447,6 +450,165 @@ def _finalize(outcomes: List[CellOutcome]) -> List[Any]:
         else:
             values.append(value)
     return values
+
+
+# ---------------------------------------------------------------------- #
+# persistent shard worker pool (the "shard" engine backend's transport)
+#
+# Distinct from the per-cell sweep pool above: sweep workers each own a
+# whole independent simulation, while shard workers *cooperate* on one
+# simulation — they advance in lockstep and exchange per-slot mailbox
+# messages with each other, so they need a persistent all-to-all queue
+# mesh rather than an imap-style task pool.
+
+class ShardCrash(RuntimeError):
+    """A shard worker process died mid-segment (e.g. SIGKILL/OOM).
+
+    The parent's scatter is read-only until the gather commits, so the
+    caller can respawn the pool and re-dispatch the identical segment.
+    """
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker raised; carries the worker-side traceback."""
+
+
+class ShardPool:
+    """``count`` persistent fork-context worker processes plus mailboxes.
+
+    Transport layout:
+
+    * one task queue per worker (parent -> worker segment dispatch),
+    * one shared result queue (workers -> parent),
+    * one mailbox queue per worker, written by every *peer* worker —
+      the deterministic per-slot mailbox transport of the shard backend.
+      Messages are tagged ``(segment, round, source shard)``; ordering is
+      restored receiver-side from the tags, so queue interleaving (which
+      is scheduler-dependent) never reaches the simulation.
+
+    The pool is generation-based: :meth:`respawn` tears down every process
+    *and* every queue and builds a fresh generation, so no stale message
+    from a crashed segment can ever leak into a retry.
+    """
+
+    def __init__(self, count: int, target: Callable):
+        if count < 2:
+            raise ValueError(f"a shard pool needs >= 2 workers, got {count}")
+        self.count = count
+        self._target = target
+        self._ctx = multiprocessing.get_context("fork")
+        self._segment = 0
+        self._spawn()
+
+    def _spawn(self) -> None:
+        ctx = self._ctx
+        self.task_queues = [ctx.Queue() for _ in range(self.count)]
+        self.result_queue = ctx.Queue()
+        self.mail_queues = [ctx.Queue() for _ in range(self.count)]
+        self.procs = []
+        for idx in range(self.count):
+            proc = ctx.Process(
+                target=self._target,
+                args=(idx, self.count, self.task_queues[idx],
+                      self.result_queue, self.mail_queues),
+                daemon=True,
+                name=f"repro-shard-{idx}",
+            )
+            proc.start()
+            self.procs.append(proc)
+        #: table-payload keys already shipped to this generation's workers
+        self.shipped_tables = set()
+
+    def alive(self) -> bool:
+        return all(proc.is_alive() for proc in self.procs)
+
+    def respawn(self) -> None:
+        """Kill the current generation and start a fresh one."""
+        self.close()
+        self._spawn()
+
+    def close(self) -> None:
+        for proc in getattr(self, "procs", ()):
+            if proc.is_alive():
+                proc.terminate()
+        for proc in getattr(self, "procs", ()):
+            proc.join(timeout=5.0)
+        for queue in (getattr(self, "task_queues", [])
+                      + getattr(self, "mail_queues", [])
+                      + [getattr(self, "result_queue", None)]):
+            if queue is None:
+                continue
+            queue.cancel_join_thread()
+            queue.close()
+        self.procs = []
+
+    def run_segment(self, tasks: Sequence[Any], timeout: float = 600.0):
+        """Dispatch one task per worker; gather ``count`` results.
+
+        Raises :class:`ShardCrash` if any worker process dies before all
+        results arrive and :class:`ShardWorkerError` if a worker raised.
+        Results come back ordered by shard index.
+        """
+        if len(tasks) != self.count:
+            raise ValueError(
+                f"expected {self.count} shard tasks, got {len(tasks)}"
+            )
+        self._segment += 1
+        segment = self._segment
+        for queue, task in zip(self.task_queues, tasks):
+            queue.put(("run", segment, task))
+        results: List[Any] = [None] * self.count
+        missing = self.count
+        deadline = time.monotonic() + timeout
+        while missing:
+            try:
+                idx, seg, kind, payload = self.result_queue.get(timeout=0.25)
+            except Exception:  # queue.Empty (also raised via mp internals)
+                if not self.alive():
+                    raise ShardCrash(
+                        "a shard worker process died mid-segment"
+                    ) from None
+                if time.monotonic() > deadline:
+                    raise ShardCrash(
+                        f"shard segment timed out after {timeout:.0f}s"
+                    ) from None
+                continue
+            if seg != segment:
+                continue  # stale message from an abandoned segment
+            if kind == "error":
+                raise ShardWorkerError(
+                    f"shard worker {idx} raised:\n{payload}"
+                )
+            results[idx] = payload
+            missing -= 1
+        return results
+
+
+#: live pools keyed by (worker count, target qualname); reused across
+#: segments and engines so worker spawn cost amortizes over a whole run
+_SHARD_POOLS: Dict[Tuple[int, str], ShardPool] = {}
+
+
+def get_shard_pool(count: int, target: Callable) -> ShardPool:
+    """The persistent :class:`ShardPool` for ``count`` workers (cached)."""
+    key = (count, f"{target.__module__}.{target.__qualname__}")
+    pool = _SHARD_POOLS.get(key)
+    if pool is None or not pool.alive():
+        if pool is not None:
+            pool.close()
+        pool = ShardPool(count, target)
+        _SHARD_POOLS[key] = pool
+    return pool
+
+
+def shutdown_shard_pools() -> None:
+    """Terminate every cached shard pool (atexit + tests)."""
+    for pool in _SHARD_POOLS.values():
+        pool.close()
+    _SHARD_POOLS.clear()
+
+
+atexit.register(shutdown_shard_pools)
 
 
 def sweep(

@@ -229,6 +229,24 @@ class TestFig13:
         assert a2 <= 4 * max(1, a1)
         assert "Figure 13" in fig13_scalability.report(result)
 
+    def test_infeasible_sizes_rejected_up_front(self):
+        # an infeasible (h, n) must fail before any simulation time is
+        # spent, naming the nearest feasible alternatives
+        with pytest.raises(ValueError) as err:
+            fig13_scalability.run(sizes={2: (1000,)}, duration=6000)
+        message = str(err.value)
+        assert "h=2, n=1000" in message
+        assert "961" in message and "1024" in message
+
+    def test_paper_scale_grid_is_feasible(self):
+        # the --paper-scale grid itself passes validation and reaches
+        # N >= 10,000 for both tunings
+        sizes = fig13_scalability.PAPER_SIZES
+        fig13_scalability._validate_sizes(
+            {h: tuple(v) for h, v in sizes.items()}
+        )
+        assert all(max(v) >= 10_000 for v in sizes.values())
+
 
 class TestFig17:
     def test_runs_and_filters(self):
