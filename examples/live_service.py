@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""A Shale network as a live service: diurnal load, mid-run control, crash
+recovery.
+
+Starts ``python -m repro serve`` as a subprocess running an open-loop
+diurnal workload with a durability checkpoint, then drives it over the
+JSON-lines control plane the way an operator (or an orchestration system)
+would:
+
+1. watch telemetry while the diurnal curve climbs toward its peak;
+2. submit a one-off bulk transfer and double the offered load mid-run;
+3. snapshot on demand, then ``kill -9`` the server mid-flight;
+4. restart with the same arguments — the service resumes from the
+   checkpoint, regenerating the exact arrival stream and telemetry rows
+   the crashed run would have produced (the overlap is checked here);
+5. drain in-flight traffic and print the final summary.
+
+Run:
+    python examples/live_service.py
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+sys.path.insert(0, REPO_SRC)
+
+from repro.service import SyncServiceClient, wait_for_ready  # noqa: E402
+
+
+def start_server(checkpoint):
+    args = [
+        sys.executable, "-m", "repro", "serve",
+        "--n", "16", "--seed", "42", "--load", "0.25",
+        "--curve", "diurnal", "--period", "8000",
+        "--low", "0.3", "--high", "1.0",
+        "--tenant", "rpc:3:short", "--tenant", "backup:1:heavy",
+        "--quantum", "200",
+        "--checkpoint", checkpoint, "--checkpoint-every", "1000",
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(args, stdout=subprocess.PIPE,
+                            stderr=subprocess.DEVNULL, env=env)
+    ready = wait_for_ready(proc.stdout)
+    return proc, ready
+
+
+def show_rows(rows, label):
+    if not rows:
+        print(f"  {label}: (no closed sample windows yet)")
+        return
+    latest = rows[-1]
+    print(f"  {label}: {len(rows)} rows; latest t={latest['t']} "
+          f"delivered={latest['delivered']} queued={latest['queued']}")
+
+
+def main():
+    checkpoint = os.path.join(tempfile.mkdtemp(prefix="shale-live-"),
+                              "service.ckpt")
+
+    print("=== starting the live service ===")
+    proc, ready = start_server(checkpoint)
+    print(f"  serving on {ready['host']}:{ready['port']} "
+          f"(protocol v{ready['protocol']}, resumed_from="
+          f"{ready['resumed_from']})")
+    client = SyncServiceClient(ready["host"], ready["port"])
+
+    print("\n=== phase 1: diurnal load, live telemetry ===")
+    time.sleep(1.0)
+    status = client.status()
+    print(f"  t={status['t']} active_flows={status['active_flows']} "
+          f"delivered={status['cells_delivered']}")
+    show_rows(client.telemetry_rows(since=0), "telemetry")
+
+    print("\n=== phase 2: operator actions mid-run ===")
+    accepted = client.submit([[0, 2, 11, 64, 4096]], late="clamp")
+    print(f"  submitted a 64-cell bulk transfer (accepted={accepted})")
+    factor = client.adjust_load(2.0)
+    print(f"  doubled the offered load (factor={factor})")
+    time.sleep(0.8)
+    status = client.status()
+    print(f"  t={status['t']} active_flows={status['active_flows']} "
+          f"load_factor={status['load_factor']}")
+
+    print("\n=== phase 3: crash and recover ===")
+    path = client.checkpoint_now()
+    print(f"  snapshot written to {path}")
+    rows_before = client.telemetry_rows(since=0)
+    show_rows(rows_before, "pre-crash telemetry")
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait()
+    client.close()
+    print("  server killed with SIGKILL (no clean shutdown)")
+
+    proc, ready = start_server(checkpoint)
+    print(f"  restarted; resumed from slot {ready['resumed_from']}")
+    client = SyncServiceClient(ready["host"], ready["port"])
+    rows_after = client.telemetry_rows(since=0)
+    replayed = [r for r in rows_before if r["t"] < ready["resumed_from"]]
+    identical = rows_after[:len(replayed)] == replayed
+    print(f"  {len(replayed)} pre-crash telemetry rows re-covered "
+          f"bit-exactly: {identical}")
+    ts = sorted({r["t"] for r in rows_before + rows_after})
+    gaps = [(a, b) for a, b in zip(ts, ts[1:]) if b - a != 50]
+    print(f"  composed stream gap-free across the crash: {not gaps}")
+
+    print("\n=== phase 4: drain and stop ===")
+    summary = client.drain_and_stop()
+    client.close()
+    proc.wait(timeout=60)
+    print(f"  drained at t={summary['t']} "
+          f"(completed_flows={summary['completed_flows']})")
+    for key in ("cells_delivered", "avg_fct_slots", "p99_fct_slots"):
+        if key in (summary.get("summary") or {}):
+            print(f"  {key}: {summary['summary'][key]:.2f}")
+    print(f"  checkpoint removed on clean finish: "
+          f"{not os.path.exists(checkpoint)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,8 +26,11 @@ Quickstart::
     print(result.summary)
 
 :func:`simulate` also wires up telemetry, run monitoring, determinism
-digests and checkpoint/resume behind keywords; drop down to
-:class:`~repro.sim.engine.Engine` for full control.
+digests and checkpoint/resume behind keywords; :func:`open_session` is its
+live twin — a :class:`~repro.service.Session` you step incrementally while
+submitting flows, with the same observer keywords and a durability
+checkpoint (serve one over TCP with ``python -m repro serve``); drop down
+to :class:`~repro.sim.engine.Engine` for full control.
 """
 
 from .core import (
@@ -51,7 +54,7 @@ from .sim import (
     SimConfig,
     TimingModel,
 )
-from .api import RunResult, simulate
+from .api import RunResult, Session, open_session, simulate
 
 __version__ = "1.0.0"
 
@@ -60,6 +63,8 @@ __all__ = [
     "CoordinateSystem",
     "Engine",
     "RunResult",
+    "Session",
+    "open_session",
     "simulate",
     "FlowRecord",
     "HeaderCodec",

@@ -1,6 +1,19 @@
-"""``python -m repro`` — dispatch to the experiment runner."""
+"""``python -m repro`` — experiments by default, ``serve`` for the live
+service control plane (see :mod:`repro.service.server`)."""
 
-from .experiments.runner import main
+import sys
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "serve":
+        from .service.server import main as serve_main
+
+        return serve_main(argv[1:])
+    from .experiments.runner import main as runner_main
+
+    return runner_main(argv)
+
 
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -1,42 +1,59 @@
-"""The one-call quickstart facade: ``simulate(config, workload) -> RunResult``.
+"""The public facade: batch ``simulate()`` and live ``open_session()``.
 
 The library's power users build :class:`~repro.sim.engine.Engine` objects
 directly — attach observers, drive loops, snapshot mid-run.  Most callers
-just want "run this config on this workload and give me the numbers":
+want one of two things:
 
-    >>> from repro import SimConfig, simulate
-    >>> from repro.workloads import poisson_workload, ShortFlowDistribution
-    >>> cfg = SimConfig(n=16, h=2, duration=20_000)
-    >>> wl = poisson_workload(cfg, ShortFlowDistribution(), load=0.2)
-    >>> result = simulate(cfg, wl, drain=True)
-    >>> result.summary["cells_delivered"] > 0
-    True
+* "run this config on this workload and give me the numbers" —
+  :func:`simulate`, the batch path::
 
-``simulate`` wires up the common observers behind keywords (``telemetry=``,
-``monitor=``, ``digest=``) and exposes checkpoint/resume with a single
-``checkpoint=`` path: if the file exists the run resumes from it
-bit-exactly, otherwise the run periodically snapshots into it, and on clean
-completion the file is removed.
+      >>> from repro import SimConfig, simulate
+      >>> from repro.workloads import poisson_workload, ShortFlowDistribution
+      >>> cfg = SimConfig(n=16, h=2, duration=20_000)
+      >>> wl = poisson_workload(cfg, ShortFlowDistribution(), load=0.2)
+      >>> result = simulate(cfg, wl, drain=True)
+      >>> result.summary["cells_delivered"] > 0
+      True
+
+* "keep this network running and let me interact with it" —
+  :func:`open_session`, the live path::
+
+      >>> from repro import open_session
+      >>> session = open_session(cfg, telemetry=True)
+      >>> session.submit(wl[:10])
+      10
+      >>> session.advance(1_000)
+      1000
+      >>> result = session.finish(drain=True)
+
+Both wire the common observers behind the *identical* keyword set
+(``telemetry=``, ``monitor=``, ``digest=``, ``events=`` — one shared
+wiring helper), both expose checkpoint/resume with a single ``checkpoint=``
+path, and both produce the same :class:`RunResult`.  Incremental
+``Session.advance`` stepping is bit-exact with an equivalent batch
+``simulate`` over the same flows.
 """
 
 from __future__ import annotations
 
-import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Optional
 
-from .sim.checkpoint import load_checkpoint_or_none, restore_engine
+from .service.session import Session, _MISSING, _resolve_failures, _wire_observers
+from .sim.checkpoint import discard_checkpoint, load_any_checkpoint_or_none, restore_engine
 from .sim.config import SimConfig
 from .sim.engine import Engine, ScheduledFlow
 from .sim.flows import FlowTable
 from .sim.metrics import MetricsCollector
 
-__all__ = ["RunResult", "simulate"]
+__all__ = ["RunResult", "Session", "open_session", "simulate"]
 
 
 @dataclass
 class RunResult:
-    """What one :func:`simulate` call produced.
+    """What one run — batch :func:`simulate` or live
+    :meth:`Session.finish <repro.service.session.Session.finish>` —
+    produced.
 
     Attributes:
         config: the configuration the run used.
@@ -44,6 +61,7 @@ class RunResult:
         flows: the flow table (active + completed flows, FCTs).
         summary: ``metrics.summary()`` — the headline numbers as a dict.
         telemetry: the attached time-series recorder, when requested.
+        events: the attached structured event log, when requested.
         digest: the run's determinism digest value, when requested.
         resumed_from: the timeslot the run resumed from (None = from 0).
         engine: the engine itself, for anything not surfaced above.
@@ -54,9 +72,67 @@ class RunResult:
     flows: FlowTable
     summary: Dict[str, float] = field(default_factory=dict)
     telemetry: Optional[object] = None
+    events: Optional[object] = None
     digest: Optional[int] = None
     resumed_from: Optional[int] = None
     engine: Optional[Engine] = None
+
+
+def open_session(
+    config: SimConfig,
+    workload: Optional[Iterable[ScheduledFlow]] = None,
+    *,
+    source=None,
+    telemetry: Any = None,
+    monitor: Any = None,
+    digest: bool = False,
+    events: Any = None,
+    failures=None,
+    failure_manager=_MISSING,
+    checkpoint=None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_parts: Optional[int] = None,
+) -> Session:
+    """Open a live :class:`~repro.service.session.Session`.
+
+    The live twin of :func:`simulate`: the same config, workload and
+    observer keywords, but instead of running to completion it returns a
+    session you drive incrementally — ``advance(slots)`` between
+    ``submit(flows)`` calls, durability snapshots via ``checkpoint=``,
+    and ``finish()`` for the :class:`RunResult`.
+
+    Args:
+        config: the run's :class:`~repro.sim.config.SimConfig`.
+        workload: flows to pre-schedule before the first advance.
+        source: an :class:`~repro.workloads.streaming.OpenLoopSource`
+            pulled automatically by every ``advance``.
+        telemetry / monitor / digest / events: observer wiring, identical
+            to :func:`simulate`.
+        failures: a :class:`~repro.failures.FailureManager` to apply.
+        checkpoint: durability file path — resume from it when it exists
+            (whole file or composed per-shard parts), snapshot into it
+            while running, removed on ``finish()``.
+        checkpoint_every: snapshot interval in timeslots (default 100000).
+        checkpoint_parts: persist snapshots as this many per-shard split
+            files instead of one whole file.
+
+    Returns:
+        An open :class:`~repro.service.session.Session`.
+    """
+    return Session(
+        config,
+        workload,
+        source=source,
+        telemetry=telemetry,
+        monitor=monitor,
+        digest=digest,
+        events=events,
+        failures=failures,
+        failure_manager=failure_manager,
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        checkpoint_parts=checkpoint_parts,
+    )
 
 
 def simulate(
@@ -68,7 +144,9 @@ def simulate(
     telemetry: Any = None,
     monitor: Any = None,
     digest: bool = False,
-    failure_manager=None,
+    events: Any = None,
+    failures=None,
+    failure_manager=_MISSING,
     checkpoint=None,
     checkpoint_every: Optional[int] = None,
 ) -> RunResult:
@@ -87,11 +165,14 @@ def simulate(
             :class:`~repro.sim.monitor.RunMonitor`, or a configured one.
         digest: record a :class:`~repro.sim.digest.DeterminismDigest` and
             return its value (for bit-exactness comparisons).
-        failure_manager: a :class:`~repro.failures.FailureManager` to
+        events: True to attach an :class:`~repro.obs.events.EventLog`
+            backed by an in-memory ring, or an already-built log.
+        failures: a :class:`~repro.failures.FailureManager` to
             apply (ignored when resuming — the restored state carries it).
         checkpoint: a file path enabling checkpoint/resume: resume from it
-            when it exists, periodically snapshot into it while running,
-            remove it on clean completion.
+            when it exists (a whole snapshot, or per-shard split parts
+            composed back together), periodically snapshot into it while
+            running, remove it — parts included — on clean completion.
         checkpoint_every: snapshot interval in timeslots (default 100000;
             only meaningful with ``checkpoint``).
 
@@ -99,34 +180,27 @@ def simulate(
         A :class:`RunResult`; bit-exact whether or not the run was
         interrupted and resumed through ``checkpoint``.
     """
-    from .obs.timeseries import TimeSeriesRecorder
-    from .sim.monitor import RunMonitor
-
+    failures = _resolve_failures(failures, failure_manager)
     resumed_from = None
     engine = None
     if checkpoint is not None:
-        saved = load_checkpoint_or_none(checkpoint)
+        saved = load_any_checkpoint_or_none(checkpoint)
         if saved is not None:
             if saved.config != config:
-                # a stale file from another experiment: start over
-                pathlib.Path(checkpoint).unlink(missing_ok=True)
+                # a stale file from another experiment: start over (and
+                # drop any per-shard parts riding beside it)
+                discard_checkpoint(checkpoint)
             else:
                 engine = restore_engine(saved)
                 resumed_from = engine.t
     if engine is None:
         engine = Engine(config, workload=None if workload is None
                         else list(workload),
-                        failure_manager=failure_manager)
-    if digest:
-        engine.enable_digest()
-    if monitor:
-        (monitor if isinstance(monitor, RunMonitor)
-         else RunMonitor()).attach(engine)
-    recorder = None
-    if telemetry:
-        recorder = (telemetry if isinstance(telemetry, TimeSeriesRecorder)
-                    else TimeSeriesRecorder())
-        recorder.attach(engine)
+                        failure_manager=failures)
+    recorder, _, event_log = _wire_observers(
+        engine, telemetry=telemetry, monitor=monitor,
+        digest=digest, events=events,
+    )
     if checkpoint is not None:
         engine.enable_checkpoints(checkpoint, checkpoint_every or 100_000)
 
@@ -135,13 +209,14 @@ def simulate(
         engine.run_until_quiescent()
 
     if checkpoint is not None:
-        pathlib.Path(checkpoint).unlink(missing_ok=True)
+        discard_checkpoint(checkpoint)
     return RunResult(
         config=config,
         metrics=engine.metrics,
         flows=engine.flows,
         summary=engine.metrics.summary(),
         telemetry=recorder,
+        events=event_log,
         digest=None if engine.digest is None else engine.digest.value,
         resumed_from=resumed_from,
         engine=engine,

@@ -1,0 +1,32 @@
+"""The live service layer: sessions, the control plane, and its clients.
+
+Three pieces, layered:
+
+* :class:`~repro.service.session.Session` — one live simulation driven
+  incrementally (``advance`` / ``submit`` / ``checkpoint_now`` /
+  ``finish``); open one with :func:`repro.open_session`.
+* :class:`~repro.service.server.ServiceServer` — an asyncio control plane
+  serving a session over JSON lines on TCP (``python -m repro serve``).
+* :class:`~repro.service.client.ServiceClient` (asyncio) and
+  :class:`~repro.service.client.SyncServiceClient` (blocking) — talk to a
+  running server.
+
+See DESIGN.md §13 for the architecture and the incremental-stepping
+invariants the layer is built on.
+"""
+
+from .client import ServiceClient, SyncServiceClient, wait_for_ready
+from .protocol import PROTOCOL_VERSION, VERBS, ServiceError
+from .server import ServiceServer
+from .session import Session
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "Session",
+    "SyncServiceClient",
+    "VERBS",
+    "wait_for_ready",
+]

@@ -56,11 +56,15 @@ __all__ = [
     "apply_checkpoint",
     "compose_checkpoint",
     "default_policy",
+    "discard_checkpoint",
+    "load_any_checkpoint_or_none",
     "load_checkpoint",
     "load_checkpoint_or_none",
     "restore_engine",
     "save_checkpoint",
+    "save_split_checkpoint",
     "set_default_policy",
+    "shard_part_paths",
     "snapshot_engine",
     "split_checkpoint",
 ]
@@ -393,6 +397,102 @@ def compose_checkpoint(parts: List[Checkpoint]) -> Checkpoint:
     state = dict(rest)
     state["nodes"] = nodes
     return Checkpoint(CHECKPOINT_VERSION, config, state)
+
+
+def shard_part_paths(path, count: Optional[int] = None) -> List[pathlib.Path]:
+    """Per-shard split-file names for checkpoint ``path``.
+
+    Part ``k`` of a split snapshot lives at ``<path>.partK`` by convention
+    (one file per shard worker slice).  With ``count`` the expected names
+    are returned; without it, the parts that actually exist on disk are
+    globbed and returned in part order.
+    """
+    path = pathlib.Path(path)
+    if count is not None:
+        return [path.with_name(f"{path.name}.part{k}")
+                for k in range(int(count))]
+    found = []
+    for candidate in path.parent.glob(f"{path.name}.part*"):
+        suffix = candidate.name[len(path.name) + len(".part"):]
+        if suffix.isdigit():
+            found.append((int(suffix), candidate))
+    return [p for _, p in sorted(found)]
+
+
+def save_split_checkpoint(checkpoint: Checkpoint, path, count: int) -> List[pathlib.Path]:
+    """Persist ``checkpoint`` as ``count`` per-shard parts next to ``path``.
+
+    Splits along :func:`split_checkpoint`'s shard boundaries and writes
+    each part atomically to its :func:`shard_part_paths` name.  Stale parts
+    from an earlier split with a *larger* shard count are removed, so the
+    on-disk part set always composes to exactly this snapshot.
+    """
+    parts = split_checkpoint(checkpoint, count)
+    paths = shard_part_paths(path, len(parts))
+    for part, part_path in zip(parts, paths):
+        save_checkpoint(part, part_path)
+    for stale in shard_part_paths(path)[len(parts):]:
+        try:
+            stale.unlink()
+        except OSError:
+            pass
+    return paths
+
+
+def load_any_checkpoint_or_none(path) -> Optional[Checkpoint]:
+    """Self-healing load of a whole snapshot *or* its split parts.
+
+    The single file at ``path`` wins when it is present and valid;
+    otherwise the per-shard parts (``<path>.partK``) are loaded and
+    composed.  Anything wrong — a corrupt file, a missing part, parts from
+    different runs — means ``None``, with the unusable files removed so
+    the next save starts clean (same contract as
+    :func:`load_checkpoint_or_none`).
+    """
+    whole = load_checkpoint_or_none(path)
+    if whole is not None:
+        return whole
+    part_paths = shard_part_paths(path)
+    if not part_paths:
+        return None
+    parts = []
+    for part_path in part_paths:
+        part = load_checkpoint_or_none(part_path)
+        if part is None or "shard" not in part.state:
+            parts = None
+            break
+        parts.append(part)
+    if parts is not None:
+        try:
+            return compose_checkpoint(parts)
+        except CheckpointError:
+            pass
+    for part_path in part_paths:
+        try:
+            part_path.unlink()
+        except OSError:
+            pass
+    return None
+
+
+def discard_checkpoint(path) -> None:
+    """Remove a checkpoint *and* any per-shard split parts beside it.
+
+    The clean-completion path must use this rather than unlinking ``path``
+    alone: a sharded run persists per-shard part files, and composing them
+    on resume leaves the parts behind — a later run with the same path
+    would otherwise resurrect the stale parts as a resume point.
+    """
+    path = pathlib.Path(path)
+    try:
+        path.unlink()
+    except OSError:
+        pass
+    for part_path in shard_part_paths(path):
+        try:
+            part_path.unlink()
+        except OSError:
+            pass
 
 
 def restore_engine(checkpoint: Checkpoint):

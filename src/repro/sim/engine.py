@@ -279,6 +279,22 @@ class Engine:
             self.backend.drain_slots(self, deadline, step)
         return self.metrics
 
+    @property
+    def has_pending_work(self) -> bool:
+        """Whether payload work remains (the drain loop's continue test).
+
+        True while flows are waiting to inject, flows are still active, or
+        payload cells are on the wire — exactly the condition
+        :meth:`run_until_quiescent` keeps stepping under.  Public so
+        incremental drivers (the live service) can drain in bounded steps
+        without reaching into engine internals.
+        """
+        return bool(
+            self._pending_flows
+            or self.flows.active_count
+            or self._in_flight_payload
+        )
+
     def _resume_end(self, ordinal: int, end: int) -> Optional[int]:
         """Resolve a run/drain loop entry against a restored loop marker.
 
@@ -354,6 +370,21 @@ class Engine:
         from .checkpoint import restore_engine
 
         return restore_engine(checkpoint)
+
+    def discard_resume_plan(self) -> None:
+        """Forget a restored loop marker; keep the restored state.
+
+        A checkpoint taken inside a run/drain loop records which loop (by
+        entry order) it interrupted, so code that *replays the original
+        call sequence* — ``simulate()`` resuming its own checkpoint — can
+        fast-forward completed loops and stop the interrupted one at its
+        original end.  A live :class:`~repro.service.session.Session` does
+        the opposite: it continues from the restored slot under a brand-new
+        advance schedule, so it must drop the marker or its first
+        ``advance()`` calls would be swallowed as already-completed loops.
+        """
+        self._resume = None
+        self._loops_entered = 0
 
     def _apply_checkpoint(self, checkpoint) -> None:
         """Overwrite this engine's state with ``checkpoint`` (same config)."""

@@ -32,6 +32,15 @@ from .adversarial import (
     hot_destination_workload,
     incast_storm_workload,
 )
+from .streaming import (
+    LoadCurve,
+    OpenLoopSource,
+    TenantProfile,
+    constant_curve,
+    diurnal_curve,
+    split_by_class,
+    streaming_workload,
+)
 
 __all__ = [
     "FLOW_SIZE_BUCKETS",
@@ -39,13 +48,18 @@ __all__ = [
     "FixedSizeDistribution",
     "FlowSizeDistribution",
     "HeavyTailedDistribution",
+    "LoadCurve",
+    "OpenLoopSource",
     "ShortFlowDistribution",
+    "TenantProfile",
     "UniformSizeDistribution",
     "adversarial_permutation_workload",
     "all_to_all_workload",
     "bucket_label",
     "bucket_of",
     "bytes_to_cells",
+    "constant_curve",
+    "diurnal_curve",
     "hot_destination_workload",
     "incast_storm_workload",
     "incast_workload",
@@ -54,6 +68,8 @@ __all__ = [
     "poisson_workload",
     "single_flow_workload",
     "read_workload",
+    "split_by_class",
+    "streaming_workload",
     "workload_from_string",
     "workload_stats",
     "workload_to_string",

@@ -33,20 +33,28 @@ def test_no_cross_package_private_access():
 
 EXPECTED_ALL = {
     "repro": [
-        "Cell", "CoordinateSystem", "Engine", "RunResult", "simulate",
+        "Cell", "CoordinateSystem", "Engine", "RunResult", "Session",
+        "open_session", "simulate",
         "FlowRecord", "HeaderCodec", "InterleavedSchedule",
         "MetricsCollector", "MultiClassSimulation", "PieoQueue", "Router",
         "Schedule", "SimConfig", "TimingModel", "Token", "TokenLedger",
         "srrd_schedule", "two_class_interleave", "__version__",
     ],
-    "repro.api": ["RunResult", "simulate"],
+    "repro.api": ["RunResult", "Session", "open_session", "simulate"],
+    "repro.service": [
+        "PROTOCOL_VERSION", "ServiceClient", "ServiceError", "ServiceServer",
+        "Session", "SyncServiceClient", "VERBS", "wait_for_ready",
+    ],
     "repro.sim": [
         "Checkpoint", "CheckpointError", "CheckpointPolicy",
         "CheckpointWriter", "ConservationError", "ControlMessage", "Engine",
         "EngineBackend", "backend_names", "default_backend",
         "set_default_backend",
-        "default_policy", "load_checkpoint", "load_checkpoint_or_none",
-        "save_checkpoint", "set_default_policy", "RunMonitor", "Flow",
+        "default_policy", "discard_checkpoint",
+        "load_any_checkpoint_or_none", "load_checkpoint",
+        "load_checkpoint_or_none", "save_checkpoint",
+        "save_split_checkpoint", "set_default_policy", "shard_part_paths",
+        "RunMonitor", "Flow",
         "FlowRecord", "FlowTable", "MetricsCollector",
         "MultiClassSimulation", "Node", "PAPER_TIMING", "PieoQueue",
         "CellTrace", "CellTracer", "TraceError", "validate_trace",
@@ -73,14 +81,17 @@ EXPECTED_ALL = {
     ],
     "repro.workloads": [
         "FLOW_SIZE_BUCKETS", "EmpiricalCdf", "FixedSizeDistribution",
-        "FlowSizeDistribution", "HeavyTailedDistribution",
-        "ShortFlowDistribution", "UniformSizeDistribution",
+        "FlowSizeDistribution", "HeavyTailedDistribution", "LoadCurve",
+        "OpenLoopSource", "ShortFlowDistribution", "TenantProfile",
+        "UniformSizeDistribution",
         "adversarial_permutation_workload", "all_to_all_workload",
-        "bucket_label", "bucket_of", "bytes_to_cells",
+        "bucket_label", "bucket_of", "bytes_to_cells", "constant_curve",
+        "diurnal_curve",
         "hot_destination_workload", "incast_storm_workload",
         "incast_workload", "overlaid_permutations_workload",
         "permutation_workload", "poisson_workload", "single_flow_workload",
-        "read_workload", "workload_from_string", "workload_stats",
+        "read_workload", "split_by_class", "streaming_workload",
+        "workload_from_string", "workload_stats",
         "workload_to_string", "write_workload",
     ],
     "repro.obs": [
